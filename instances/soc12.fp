@@ -1,0 +1,31 @@
+# A 12-module SoC-flavoured sample instance for bin/floorplanner.
+# Format: see Fp_netlist.Parser (module NAME rigid W H |
+#         module NAME flexible AREA MIN_ASPECT MAX_ASPECT;
+#         net NAME [crit=C] MOD:SIDE ...  with sides L R B T).
+instance soc12
+module cpu     rigid 24 20
+module fpu     rigid 18 16
+module l1i     rigid 16 12
+module l1d     rigid 16 12
+module l2      rigid 28 22
+module noc     flexible 240 0.4 2.5
+module ddrphy  rigid 30 8
+module usb     rigid 10 8
+module pcie    rigid 12 10
+module dma     flexible 120 0.5 2.0
+module aon     flexible 80 0.5 2.0
+module gpio    rigid 8 6
+
+net ifetch   crit=0.9 cpu:T l1i:B
+net ldst     crit=0.8 cpu:R l1d:L
+net fp       cpu:B fpu:T
+net l1i_l2   l1i:R l2:L
+net l1d_l2   l1d:R l2:L
+net mem      crit=0.7 l2:B ddrphy:T noc:R
+net noc_cpu  noc:T cpu:L
+net noc_dma  noc:B dma:T
+net noc_pcie noc:L pcie:R
+net noc_usb  noc:L usb:R
+net dbg      aon:T cpu:L gpio:R
+net pads     gpio:B usb:B pcie:B
+net pwr      aon:R dma:L l2:T
