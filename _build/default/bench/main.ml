@@ -1,0 +1,485 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (section 4) and runs Bechamel micro-benchmarks for the
+   performance-critical kernels.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- --table 1    -- one table
+     dune exec bench/main.exe -- --figures    -- figures 5 and 6 (SVG + ASCII)
+     dune exec bench/main.exe -- --ablation   -- design-choice ablations
+     dune exec bench/main.exe -- --bechamel   -- micro-benchmarks only
+     dune exec bench/main.exe -- --quick      -- reduced MILP budgets
+
+   Absolute numbers differ from the paper's 1990 Apollo DN3550 runs; the
+   shapes the paper claims (near-linear time in modules, connectivity
+   ordering beating random, wire term reducing wirelength, envelopes
+   reducing the post-routing chip area) are what this harness
+   demonstrates.  See EXPERIMENTS.md for the side-by-side record. *)
+
+module Netlist = Fp_netlist.Netlist
+module Generator = Fp_netlist.Generator
+module BB = Fp_milp.Branch_bound
+module Skyline = Fp_geometry.Skyline
+module Rect = Fp_geometry.Rect
+open Fp_core
+
+let out_dir = ref "."
+let quick = ref false
+let printf = Printf.printf
+
+let hr title =
+  printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let base_config () =
+  let d = Augment.default_config in
+  if !quick then
+    { d with
+      Augment.milp = { d.Augment.milp with BB.node_limit = 500; time_limit = 5. } }
+  else d
+
+(* One full floorplanning run: augmentation, then the end-of-run
+   adjustment (compaction + known-topology LP), as in the paper's
+   Figure 3 steps 12-13. *)
+let floorplan ?config nl =
+  let config = match config with Some c -> c | None -> base_config () in
+  let res = Augment.run ~config nl in
+  let pl = Compact.vertical res.Augment.placement in
+  let pl, _ = Topology.optimize ~linearization:config.Augment.linearization nl pl in
+  (res, pl)
+
+(* --------------------------------------------------------------------- *)
+(* Table 1: problem size vs execution time and utilization                *)
+(* --------------------------------------------------------------------- *)
+
+let table1 () =
+  hr "Table 1 -- execution time and utilization vs problem size";
+  printf "(paper: K=15/20/25/33, time in minutes on a 4-MIPS Apollo; the\n";
+  printf " claim under reproduction: time grows almost linearly with K)\n\n";
+  printf "%8s %12s %12s %14s %12s %10s\n" "Modules" "Chip Area" "Height"
+    "Exec Time (s)" "Utilization" "MILP nodes";
+  let samples = ref [] in
+  List.iter
+    (fun k ->
+      let nl = Fp_data.Instances.table1_instance k in
+      let t0 = Unix.gettimeofday () in
+      let res, pl = floorplan nl in
+      let dt = Unix.gettimeofday () -. t0 in
+      let nodes =
+        List.fold_left (fun a s -> a + s.Augment.nodes) 0 res.Augment.steps
+      in
+      samples := (float_of_int k, dt) :: !samples;
+      printf "%8d %12.0f %12.1f %14.2f %11.1f%% %10d\n" k
+        (Placement.chip_area pl) pl.Placement.height dt
+        (100. *. Metrics.utilization nl pl)
+        nodes)
+    Fp_data.Instances.table1_sizes;
+  let fit = Fp_util.Stats.linear_fit (List.rev !samples) in
+  printf "\nleast-squares fit of time vs K: %s\n"
+    (Format.asprintf "%a" Fp_util.Stats.pp_fit fit);
+  printf "(R^2 close to 1 supports the paper's almost-linear-growth claim)\n"
+
+(* --------------------------------------------------------------------- *)
+(* Table 2: ami33, over-the-cell routing                                  *)
+(* --------------------------------------------------------------------- *)
+
+let table2 () =
+  hr "Table 2 -- ami33, over-the-cell routing (objective x ordering)";
+  printf "(paper: best chip utilization 96%% with the area objective;\n";
+  printf " wirelength measured as HPWL over generalized pins)\n\n";
+  printf "%-10s %-8s %12s %12s %12s %10s\n" "Objective" "Order" "Chip Area"
+    "Util" "WireLen" "Time (s)";
+  let nl = Fp_data.Ami33.netlist () in
+  let combos =
+    [
+      ("Chip Area", "Random", Formulation.Min_height, `Random 1988);
+      ("Chip Area", "Linear", Formulation.Min_height, `Linear);
+      ("Area+Wire", "Random", Formulation.Min_height_plus_wire 0.02,
+       `Random 1988);
+      ("Area+Wire", "Linear", Formulation.Min_height_plus_wire 0.02, `Linear);
+    ]
+  in
+  List.iter
+    (fun (obj_name, ord_name, objective, ordering) ->
+      let base = base_config () in
+      let config =
+        { base with
+          Augment.objective; ordering;
+          (* Wire-term LPs are ~2x bigger; cap the node budget so the
+             sweep stays minutes, not tens of minutes. *)
+          milp =
+            (match objective with
+            | Formulation.Min_height -> base.Augment.milp
+            | Formulation.Min_height_plus_wire _ ->
+              { base.Augment.milp with BB.node_limit = 1200 }) }
+      in
+      let t0 = Unix.gettimeofday () in
+      let _, pl = floorplan ~config nl in
+      let dt = Unix.gettimeofday () -. t0 in
+      printf "%-10s %-8s %12.0f %11.1f%% %12.0f %10.2f\n" obj_name ord_name
+        (Placement.chip_area pl)
+        (100. *. Metrics.utilization nl pl)
+        (Metrics.hpwl nl pl) dt)
+    combos
+
+(* --------------------------------------------------------------------- *)
+(* Table 3: ami33, around-the-cell routing                                *)
+(* --------------------------------------------------------------------- *)
+
+let pitch_h = 0.35
+let pitch_v = 0.35
+
+let table3 () =
+  hr "Table 3 -- ami33, around-the-cell routing (envelopes x router)";
+  printf "(paper: floorplan adjustment with envelopes decreases the final\n";
+  printf " chip size; wirelength from the global router's paths)\n\n";
+  printf "%-12s %-9s %12s %12s %12s %12s %10s\n" "Adjustment" "Router"
+    "Base Area" "Final Area" "WireLen" "Overflow" "Growth";
+  let nl = Fp_data.Ami33.netlist () in
+  let plan envelopes =
+    let config =
+      { (base_config ()) with
+        Augment.envelope =
+          (if envelopes then Some { Augment.pitch_h; pitch_v; share = 0.5 }
+           else None) }
+    in
+    snd (floorplan ~config nl)
+  in
+  let without_env = plan false and with_env = plan true in
+  let routers =
+    [ ("Shortest", Fp_route.Global_router.Shortest_path);
+      ("Weighted", Fp_route.Global_router.Weighted { penalty = 3. }) ]
+  in
+  List.iter
+    (fun (adj_name, pl) ->
+      List.iter
+        (fun (r_name, algorithm) ->
+          let rt =
+            Fp_route.Global_router.route ~algorithm ~pitch_h ~pitch_v nl pl
+          in
+          let rep = Fp_route.Adjust.compute rt ~pitch_h ~pitch_v in
+          let base =
+            rep.Fp_route.Adjust.base_width *. rep.Fp_route.Adjust.base_height
+          in
+          printf "%-12s %-9s %12.0f %12.0f %12.0f %12.0f %9.1f%%\n" adj_name
+            r_name base rep.Fp_route.Adjust.final_area
+            rt.Fp_route.Global_router.total_wirelength
+            rt.Fp_route.Global_router.overflow_total
+            (100. *. ((rep.Fp_route.Adjust.final_area /. base) -. 1.)))
+        routers)
+    [ ("No Envelope", without_env); ("Envelope", with_env) ]
+
+(* --------------------------------------------------------------------- *)
+(* Figures 5 and 6                                                        *)
+(* --------------------------------------------------------------------- *)
+
+let figures () =
+  hr "Figures 5 and 6 -- ami33 floorplan, and floorplan with routing";
+  let nl = Fp_data.Ami33.netlist () in
+  let config =
+    { (base_config ()) with
+      Augment.envelope = Some { Augment.pitch_h; pitch_v; share = 0.5 } }
+  in
+  let _, pl = floorplan ~config nl in
+  let fig5 = Filename.concat !out_dir "fig5_ami33.svg" in
+  Fp_viz.Svg.save fig5 (Fp_viz.Svg.of_placement ~netlist:nl pl);
+  printf "Figure 5 (floorplan of the ami33 chip) -> %s\n" fig5;
+  let rt =
+    Fp_route.Global_router.route
+      ~algorithm:(Fp_route.Global_router.Weighted { penalty = 3. })
+      ~pitch_h ~pitch_v nl pl
+  in
+  let fig6 = Filename.concat !out_dir "fig6_ami33_routed.svg" in
+  Fp_viz.Svg.save fig6 (Fp_viz.Svg.of_routed ~netlist:nl pl rt);
+  printf "Figure 6 (final floorplan with routing space) -> %s\n" fig6;
+  printf "\nASCII rendering (Figure 5):\n%s\n" (Fp_viz.Ascii.render ~cols:76 pl)
+
+(* --------------------------------------------------------------------- *)
+(* Ablations                                                              *)
+(* --------------------------------------------------------------------- *)
+
+let ablation_group_size () =
+  hr "Ablation -- augmentation group size (quality vs MILP effort)";
+  printf "%6s %10s %12s %12s %12s\n" "Group" "Height" "Util" "Nodes" "Time (s)";
+  let nl = Fp_data.Instances.table1_instance 15 in
+  List.iter
+    (fun g ->
+      let config = { (base_config ()) with Augment.group_size = g } in
+      let t0 = Unix.gettimeofday () in
+      let res, pl = floorplan ~config nl in
+      let dt = Unix.gettimeofday () -. t0 in
+      let nodes =
+        List.fold_left (fun a s -> a + s.Augment.nodes) 0 res.Augment.steps
+      in
+      printf "%6d %10.1f %11.1f%% %12d %12.2f\n" g pl.Placement.height
+        (100. *. Metrics.utilization nl pl) nodes dt)
+    [ 2; 3; 4; 5 ]
+
+let ablation_covering () =
+  hr "Ablation -- covering rectangles (Theorem 2's payoff)";
+  printf "%-12s %14s %12s %12s\n" "Obstacles" "Integer vars" "Height" "Time (s)";
+  let nl = Fp_data.Instances.table1_instance 20 in
+  List.iter
+    (fun (name, use_covering) ->
+      let config = { (base_config ()) with Augment.use_covering } in
+      let t0 = Unix.gettimeofday () in
+      let res, pl = floorplan ~config nl in
+      let dt = Unix.gettimeofday () -. t0 in
+      let ints =
+        List.fold_left (fun a s -> a + s.Augment.num_integer_vars) 0
+          res.Augment.steps
+      in
+      printf "%-12s %14d %12.1f %12.2f\n" name ints pl.Placement.height dt)
+    [ ("covering", true); ("raw modules", false) ]
+
+let ablation_branch_rule () =
+  hr "Ablation -- branch-and-bound branching rule";
+  printf "%-18s %10s %12s %12s\n" "Rule" "Height" "Nodes" "Time (s)";
+  let nl = Fp_data.Instances.table1_instance 15 in
+  List.iter
+    (fun (name, rule) ->
+      let base = base_config () in
+      let config =
+        { base with
+          Augment.milp = { base.Augment.milp with BB.branch_rule = rule } }
+      in
+      let t0 = Unix.gettimeofday () in
+      let res, pl = floorplan ~config nl in
+      let dt = Unix.gettimeofday () -. t0 in
+      let nodes =
+        List.fold_left (fun a s -> a + s.Augment.nodes) 0 res.Augment.steps
+      in
+      printf "%-18s %10.1f %12d %12.2f\n" name pl.Placement.height nodes dt)
+    [ ("most-fractional", BB.Most_fractional);
+      ("first-fractional", BB.First_fractional) ]
+
+let ablation_router_penalty () =
+  hr "Ablation -- router congestion penalty sweep";
+  printf "%8s %12s %12s %12s\n" "Penalty" "WireLen" "OverflowSum" "MaxOverflow";
+  let nl = Fp_data.Ami33.netlist () in
+  let _, pl = floorplan nl in
+  List.iter
+    (fun penalty ->
+      let algorithm =
+        if penalty = 0. then Fp_route.Global_router.Shortest_path
+        else Fp_route.Global_router.Weighted { penalty }
+      in
+      let rt = Fp_route.Global_router.route ~algorithm ~pitch_h ~pitch_v nl pl in
+      printf "%8.1f %12.0f %12.0f %12.0f\n" penalty
+        rt.Fp_route.Global_router.total_wirelength
+        rt.Fp_route.Global_router.overflow_total
+        rt.Fp_route.Global_router.max_overflow)
+    [ 0.; 1.; 3.; 10. ]
+
+let baseline_comparison () =
+  hr "Baseline -- MILP successive augmentation vs slicing + annealing";
+  printf "(the paper's pitch: the MILP method is not restricted to slicing\n";
+  printf " structures; Wong-Liu style SA over normalized Polish expressions\n";
+  printf " is the canonical slicing competitor)\n\n";
+  printf "%-10s %-22s %12s %12s %12s %10s\n" "Instance" "Method" "Chip Area"
+    "Util" "HPWL" "Time (s)";
+  List.iter
+    (fun k ->
+      let nl = Fp_data.Instances.table1_instance k in
+      let t0 = Unix.gettimeofday () in
+      let _, milp_pl = floorplan nl in
+      let t_milp = Unix.gettimeofday () -. t0 in
+      let slicing_cfg =
+        { Fp_slicing.Anneal.default_config with
+          Fp_slicing.Anneal.width_limit = Some milp_pl.Placement.chip_width }
+      in
+      let sa_pl, sa_stats = Fp_slicing.Anneal.run ~config:slicing_cfg nl in
+      let row name pl t =
+        printf "%-10s %-22s %12.0f %11.1f%% %12.0f %10.2f\n"
+          (Netlist.name nl) name
+          (Placement.chip_area pl)
+          (100. *. Metrics.utilization nl pl)
+          (Metrics.hpwl nl pl) t
+      in
+      row "MILP (this paper)" milp_pl t_milp;
+      row "slicing SA (baseline)" sa_pl sa_stats.Fp_slicing.Anneal.elapsed)
+    [ 15; 33 ]
+
+let ablations () =
+  ablation_group_size ();
+  ablation_covering ();
+  ablation_branch_rule ();
+  ablation_router_penalty ();
+  baseline_comparison ()
+
+(* --------------------------------------------------------------------- *)
+(* Bechamel micro-benchmarks: one Test.make per table + kernel ablations  *)
+(* --------------------------------------------------------------------- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  (* Table 1 kernel: one full small-instance floorplan, tight budget. *)
+  let t1_nl =
+    Generator.generate
+      { Generator.default_config with Generator.num_modules = 8; seed = 77 }
+  in
+  let tight =
+    { Augment.default_config with
+      Augment.group_size = 3;
+      milp = { Augment.default_config.Augment.milp with BB.node_limit = 120 } }
+  in
+  let table1_test =
+    Test.make ~name:"table1/augment-8mod"
+      (Staged.stage (fun () -> ignore (Augment.run ~config:tight t1_nl)))
+  in
+  (* Table 2 kernel: formulation build + warm start for one ami33 group
+     (the per-step cost the objective/ordering sweep pays). *)
+  let ami = Fp_data.Ami33.netlist () in
+  let items =
+    Array.of_list
+      (Augment.items_of_group Augment.default_config ami [ 0; 1; 2; 3 ])
+  in
+  let sky = Skyline.create ~width:110. in
+  let table2_test =
+    Test.make ~name:"table2/ami33-step-model"
+      (Staged.stage (fun () ->
+           let built =
+             Formulation.build ~chip_width:110. ~height_bound:160.
+               (Array.to_list items)
+           in
+           let warm =
+             Warm_start.place_group ~skyline:sky ~allow_rotation:true
+               ~linearization:Formulation.Secant items
+           in
+           ignore
+             (Formulation.assign_warm built
+                (fun k -> warm.(k).Warm_start.envelope)
+                ~rotated:(fun k -> warm.(k).Warm_start.rotated))))
+  in
+  (* Table 3 kernel: weighted global routing over a fixed placement. *)
+  let t3_nl =
+    Generator.generate
+      { Generator.default_config with Generator.num_modules = 10; seed = 78 }
+  in
+  let t3_pl = (Augment.run ~config:tight t3_nl).Augment.placement in
+  let table3_test =
+    Test.make ~name:"table3/route-weighted"
+      (Staged.stage (fun () ->
+           ignore
+             (Fp_route.Global_router.route
+                ~algorithm:(Fp_route.Global_router.Weighted { penalty = 3. })
+                t3_nl t3_pl)))
+  in
+  (* Kernel ablations: the simplex and the covering decomposition. *)
+  let simplex_lp () =
+    let p = Fp_lp.Lp_problem.create () in
+    let n = 40 in
+    let vars =
+      Array.init n (fun i ->
+          Fp_lp.Lp_problem.add_var p ~ub:10.
+            ~obj:(float_of_int ((i mod 7) - 3))
+            (Printf.sprintf "x%d" i))
+    in
+    for r = 0 to 59 do
+      let terms =
+        List.init 8 (fun k ->
+            (float_of_int (((r + k) mod 5) + 1), vars.((r + (3 * k)) mod n)))
+      in
+      Fp_lp.Lp_problem.add_constr p terms Fp_lp.Lp_problem.Le
+        (float_of_int ((r mod 17) + 10))
+    done;
+    p
+  in
+  let simplex_test =
+    Test.make ~name:"ablation/simplex-60x40"
+      (Staged.stage (fun () -> ignore (Fp_lp.Simplex.solve (simplex_lp ()))))
+  in
+  let big_sky =
+    List.fold_left
+      (fun sky i ->
+        let x = float_of_int (i * 7 mod 193) in
+        Skyline.add_rect sky
+          (Rect.make ~x ~y:0.
+             ~w:(float_of_int ((i mod 9) + 2))
+             ~h:(float_of_int ((i mod 13) + 1))))
+      (Skyline.create ~width:200.)
+      (List.init 120 Fun.id)
+  in
+  let covering_test =
+    Test.make ~name:"ablation/covering-120"
+      (Staged.stage (fun () ->
+           ignore (Fp_geometry.Covering.of_skyline big_sky)))
+  in
+  [ table1_test; table2_test; table3_test; simplex_test; covering_test ]
+
+let run_bechamel () =
+  hr "Bechamel micro-benchmarks";
+  let open Bechamel in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:(Some 50) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:true
+             ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+            printf "%-28s %14.0f ns/run%s\n" name est
+              (match Analyze.OLS.r_square result with
+              | Some r -> Printf.sprintf "  (r2 %.3f)" r
+              | None -> "")
+          | Some _ | None -> printf "%-28s (no estimate)\n" name)
+        analyzed)
+    (bechamel_tests ())
+
+(* --------------------------------------------------------------------- *)
+
+let () =
+  let run_t1 = ref false and run_t2 = ref false and run_t3 = ref false in
+  let run_figs = ref false and run_abl = ref false and run_bch = ref false in
+  let any = ref false in
+  let speclist =
+    [
+      ( "--table",
+        Arg.Int
+          (fun n ->
+            any := true;
+            match n with
+            | 1 -> run_t1 := true
+            | 2 -> run_t2 := true
+            | 3 -> run_t3 := true
+            | _ -> raise (Arg.Bad "tables are 1, 2, 3")),
+        "N  regenerate table N (1, 2 or 3)" );
+      ( "--figures",
+        Arg.Unit (fun () -> any := true; run_figs := true),
+        "  regenerate figures 5 and 6" );
+      ( "--ablation",
+        Arg.Unit (fun () -> any := true; run_abl := true),
+        "  run design-choice ablations" );
+      ( "--bechamel",
+        Arg.Unit (fun () -> any := true; run_bch := true),
+        "  run Bechamel micro-benchmarks" );
+      ("--quick", Arg.Set quick, "  reduced MILP budgets (fast, lower quality)");
+      ("--out", Arg.Set_string out_dir, "DIR  directory for SVG outputs");
+    ]
+  in
+  Arg.parse speclist
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "floorplan benchmark harness";
+  if not !any then begin
+    run_t1 := true;
+    run_t2 := true;
+    run_t3 := true;
+    run_figs := true;
+    run_abl := true;
+    run_bch := true
+  end;
+  if !run_t1 then table1 ();
+  if !run_t2 then table2 ();
+  if !run_t3 then table3 ();
+  if !run_figs then figures ();
+  if !run_abl then ablations ();
+  if !run_bch then run_bechamel ();
+  printf "\ndone.\n"

@@ -1,0 +1,322 @@
+(* Command-line front end for the analytical floorplanner.
+
+   Subcommands:
+     plan   -- floorplan an instance and report metrics
+     route  -- floorplan, globally route, and report the adjusted area
+     gen    -- generate a random instance file
+     show   -- print an instance summary
+
+   Instances come from a file (see Fp_netlist.Parser for the format), the
+   bundled synthetic ami33, or the random generator. *)
+
+open Cmdliner
+module Netlist = Fp_netlist.Netlist
+module Generator = Fp_netlist.Generator
+module Parser = Fp_netlist.Parser
+module BB = Fp_milp.Branch_bound
+open Fp_core
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+
+(* ------------------------- instance sources ------------------------- *)
+
+let load_instance input ami33 random seed =
+  match (input, ami33, random) with
+  | Some path, false, None -> (
+    match Parser.of_file path with
+    | Ok nl -> Ok nl
+    | Error e -> Error (Printf.sprintf "cannot load %s: %s" path e))
+  | None, true, None -> Ok (Fp_data.Ami33.netlist ())
+  | None, false, Some k ->
+    Ok (Generator.generate
+          { Generator.default_config with Generator.num_modules = k; seed })
+  | None, false, None ->
+    Error "no instance: pass --input FILE, --ami33, or --random K"
+  | _ -> Error "pass exactly one of --input, --ami33, --random"
+
+let input_arg =
+  Arg.(value & opt (some file) None
+       & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Instance file to load.")
+
+let ami33_arg =
+  Arg.(value & flag
+       & info [ "ami33" ] ~doc:"Use the bundled synthetic ami33 benchmark.")
+
+let random_arg =
+  Arg.(value & opt (some int) None
+       & info [ "random" ] ~docv:"K"
+           ~doc:"Use a random instance with $(docv) modules.")
+
+let seed_arg =
+  Arg.(value & opt int 1
+       & info [ "seed" ] ~docv:"N" ~doc:"Seed for --random / random ordering.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-step progress logs.")
+
+(* --------------------------- plan options --------------------------- *)
+
+let width_arg =
+  Arg.(value & opt (some float) None
+       & info [ "w"; "width" ] ~docv:"W"
+           ~doc:"Chip width (default: near-square from the total area).")
+
+let group_arg =
+  Arg.(value & opt int 4
+       & info [ "g"; "group" ] ~docv:"N"
+           ~doc:"Modules added per augmentation step.")
+
+let ordering_arg =
+  Arg.(value & opt (enum [ ("linear", `L); ("random", `R); ("area", `A) ]) `L
+       & info [ "ordering" ] ~docv:"KIND"
+           ~doc:"Augmentation order: linear (connectivity), random, or area.")
+
+let objective_arg =
+  Arg.(value & opt (some float) None
+       & info [ "wire" ] ~docv:"LAMBDA"
+           ~doc:"Add a wirelength objective term with weight $(docv).")
+
+let envelope_arg =
+  Arg.(value & opt (some float) None
+       & info [ "envelope" ] ~docv:"PITCH"
+           ~doc:"Reserve routing envelopes with the given track pitch.")
+
+let nodes_arg =
+  Arg.(value & opt int 4000
+       & info [ "nodes" ] ~docv:"N"
+           ~doc:"Branch-and-bound node budget per augmentation step.")
+
+let refine_arg =
+  Arg.(value & flag
+       & info [ "refine" ]
+           ~doc:"Run the re-insertion refinement after augmentation.")
+
+let slicing_arg =
+  Arg.(value & flag
+       & info [ "slicing" ]
+           ~doc:"Use the slicing simulated-annealing baseline instead of \
+                 the MILP floorplanner.")
+
+let svg_arg =
+  Arg.(value & opt (some string) None
+       & info [ "svg" ] ~docv:"FILE" ~doc:"Write an SVG rendering to $(docv).")
+
+let ascii_arg =
+  Arg.(value & flag & info [ "ascii" ] ~doc:"Print an ASCII rendering.")
+
+let config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed =
+  let d = Augment.default_config in
+  {
+    d with
+    Augment.chip_width = width;
+    group_size = group;
+    ordering =
+      (match ordering with
+      | `L -> `Linear
+      | `R -> `Random seed
+      | `A -> `Area_desc);
+    objective =
+      (match wire with
+      | None -> Formulation.Min_height
+      | Some lambda -> Formulation.Min_height_plus_wire lambda);
+    envelope =
+      Option.map
+        (fun pitch -> { Augment.pitch_h = pitch; pitch_v = pitch; share = 0.5 })
+        envelope;
+    milp = { d.Augment.milp with BB.node_limit = nodes };
+  }
+
+let run_plan nl config refine =
+  let t0 = Unix.gettimeofday () in
+  let res = Augment.run ~config nl in
+  let pl = Compact.vertical res.Augment.placement in
+  let pl, _ = Topology.optimize ~linearization:config.Augment.linearization nl pl in
+  let pl =
+    if refine then fst (Refine.reinsert_top nl pl) else pl
+  in
+  (res, pl, Unix.gettimeofday () -. t0)
+
+let report_plan nl pl dt =
+  Printf.printf "instance   : %s\n" (Netlist.name nl);
+  Printf.printf "modules    : %d (%d nets)\n" (Netlist.num_modules nl)
+    (Netlist.num_nets nl);
+  Printf.printf "chip       : %.2f x %.2f = %.1f\n" pl.Placement.chip_width
+    pl.Placement.height (Placement.chip_area pl);
+  Printf.printf "utilization: %.1f%%\n" (100. *. Metrics.utilization nl pl);
+  Printf.printf "wirelength : %.1f (HPWL)\n" (Metrics.hpwl nl pl);
+  Printf.printf "time       : %.2f s\n" dt;
+  match Placement.valid pl with
+  | Ok () -> Printf.printf "validity   : ok\n"
+  | Error e -> Printf.printf "validity   : BROKEN (%s)\n" e
+
+let plan_cmd =
+  let run input ami33 random seed verbose width group ordering wire envelope
+      nodes refine slicing svg ascii =
+    setup_logs verbose;
+    match load_instance input ami33 random seed with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok nl ->
+      let config =
+        config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed
+      in
+      let pl, dt =
+        if slicing then begin
+          let sa_cfg =
+            { Fp_slicing.Anneal.default_config with
+              Fp_slicing.Anneal.width_limit = width;
+              wire_weight = Option.value wire ~default:0.;
+              seed }
+          in
+          let pl, stats = Fp_slicing.Anneal.run ~config:sa_cfg nl in
+          (pl, stats.Fp_slicing.Anneal.elapsed)
+        end
+        else
+          let _, pl, dt = run_plan nl config refine in
+          (pl, dt)
+      in
+      report_plan nl pl dt;
+      Option.iter
+        (fun path ->
+          Fp_viz.Svg.save path (Fp_viz.Svg.of_placement ~netlist:nl pl);
+          Printf.printf "svg        : %s\n" path)
+        svg;
+      if ascii then print_string (Fp_viz.Ascii.render pl);
+      0
+  in
+  let term =
+    Term.(
+      const run $ input_arg $ ami33_arg $ random_arg $ seed_arg $ verbose_arg
+      $ width_arg $ group_arg $ ordering_arg $ objective_arg $ envelope_arg
+      $ nodes_arg $ refine_arg $ slicing_arg $ svg_arg $ ascii_arg)
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Floorplan an instance by successive augmentation")
+    term
+
+let route_cmd =
+  let pitch_arg =
+    Arg.(value & opt float 0.35
+         & info [ "pitch" ] ~docv:"P" ~doc:"Routing track pitch.")
+  in
+  let weighted_arg =
+    Arg.(value & opt (some float) (Some 3.)
+         & info [ "penalty" ] ~docv:"P"
+             ~doc:"Congestion penalty (omit for plain shortest path via \
+                   --penalty-off).")
+  in
+  let penalty_off_arg =
+    Arg.(value & flag
+         & info [ "penalty-off" ] ~doc:"Use the unweighted shortest path.")
+  in
+  let run input ami33 random seed verbose width group ordering wire envelope
+      nodes pitch penalty penalty_off svg =
+    setup_logs verbose;
+    match load_instance input ami33 random seed with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok nl ->
+      let config =
+        config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed
+      in
+      let _, pl, dt = run_plan nl config false in
+      report_plan nl pl dt;
+      let algorithm =
+        if penalty_off then Fp_route.Global_router.Shortest_path
+        else
+          Fp_route.Global_router.Weighted
+            { penalty = Option.value penalty ~default:3. }
+      in
+      let rt =
+        Fp_route.Global_router.route ~algorithm ~pitch_h:pitch ~pitch_v:pitch
+          nl pl
+      in
+      let rep = Fp_route.Adjust.compute rt ~pitch_h:pitch ~pitch_v:pitch in
+      Printf.printf "routing    : wirelength %.1f, %d nets, overflow %.0f\n"
+        rt.Fp_route.Global_router.total_wirelength
+        (List.length rt.Fp_route.Global_router.routed)
+        rt.Fp_route.Global_router.overflow_total;
+      Format.printf "adjusted   : %a@." Fp_route.Adjust.pp rep;
+      Option.iter
+        (fun path ->
+          Fp_viz.Svg.save path (Fp_viz.Svg.of_routed ~netlist:nl pl rt);
+          Printf.printf "svg        : %s\n" path)
+        svg;
+      0
+  in
+  let term =
+    Term.(
+      const run $ input_arg $ ami33_arg $ random_arg $ seed_arg $ verbose_arg
+      $ width_arg $ group_arg $ ordering_arg $ objective_arg $ envelope_arg
+      $ nodes_arg $ pitch_arg $ weighted_arg $ penalty_off_arg $ svg_arg)
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:"Floorplan, globally route, and compute the adjusted chip area")
+    term
+
+let gen_cmd =
+  let k_arg =
+    Arg.(required & pos 0 (some int) None
+         & info [] ~docv:"K" ~doc:"Number of modules.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the instance here (default: stdout).")
+  in
+  let run k seed out =
+    let nl =
+      Generator.generate
+        { Generator.default_config with Generator.num_modules = k; seed }
+    in
+    (match out with
+    | Some path ->
+      Parser.to_file path nl;
+      Printf.printf "wrote %s\n" path
+    | None -> print_string (Parser.to_string nl));
+    0
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a random instance file")
+    Term.(const run $ k_arg $ seed_arg $ out_arg)
+
+let show_cmd =
+  let run input ami33 random seed =
+    match load_instance input ami33 random seed with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok nl ->
+      Format.printf "%a@." Netlist.pp_summary nl;
+      Array.iter
+        (fun m -> Format.printf "  %a@." Fp_netlist.Module_def.pp m)
+        (Netlist.modules nl);
+      Printf.printf "nets: %d (max degree %d, %d timing-critical)\n"
+        (Netlist.num_nets nl)
+        (List.fold_left
+           (fun a n -> Int.max a (Fp_netlist.Net.degree n))
+           0 (Netlist.nets nl))
+        (List.length
+           (List.filter
+              (fun n -> n.Fp_netlist.Net.criticality > 0.)
+              (Netlist.nets nl)));
+      0
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print an instance summary")
+    Term.(const run $ input_arg $ ami33_arg $ random_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "floorplanner" ~version:"1.0.0"
+      ~doc:
+        "Analytical floorplan design and optimization (Sutanthavibul, \
+         Shragowitz and Rosen, DAC 1990)"
+  in
+  exit (Cmd.eval' (Cmd.group info [ plan_cmd; route_cmd; gen_cmd; show_cmd ]))

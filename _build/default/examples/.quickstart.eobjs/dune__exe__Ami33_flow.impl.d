@@ -1,0 +1,1 @@
+examples/ami33_flow.ml: Augment Compact Format Fp_core Fp_data Fp_milp Fp_netlist Fp_route Fp_viz List Metrics Placement Printf Refine Topology Unix

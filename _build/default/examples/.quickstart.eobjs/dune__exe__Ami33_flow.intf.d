@@ -1,0 +1,1 @@
+examples/ami33_flow.mli:

@@ -1,0 +1,1 @@
+examples/covering_demo.ml: Format Fp_core Fp_geometry Fp_viz List Placement Printf

@@ -1,0 +1,1 @@
+examples/fixed_topology.ml: Fp_core Fp_geometry Fp_netlist Fp_viz Fun Metrics Placement Printf Topology

@@ -1,0 +1,1 @@
+examples/flexible_demo.ml: Fp_netlist Printf

@@ -1,0 +1,1 @@
+examples/flexible_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Augment Format Fp_core Fp_netlist Fp_viz List Metrics Placement Printf String

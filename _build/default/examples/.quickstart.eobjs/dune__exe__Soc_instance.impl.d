@@ -1,0 +1,1 @@
+examples/soc_instance.ml: Array Augment Compact Format Fp_core Fp_netlist Fp_slicing Fp_viz Metrics Placement Printf Sys Topology

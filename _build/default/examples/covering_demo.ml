@@ -1,0 +1,67 @@
+(* Covering rectangles for a partial floorplan — paper Figure 4 and
+   Theorems 1-2.
+
+     dune exec examples/covering_demo.exe
+
+   Reproduces the paper's illustration: six fixed modules form a
+   hole-free polygon; horizontal edge-cuts partition it into at most six
+   covering rectangles, so the next augmentation step sees at most six
+   obstacles instead of six modules *plus* their dead space. *)
+
+module Rect = Fp_geometry.Rect
+module Skyline = Fp_geometry.Skyline
+module Covering = Fp_geometry.Covering
+open Fp_core
+
+let placed id r =
+  { Placement.module_id = id; rect = r; envelope = r; rotated = false }
+
+let () =
+  (* Six modules stacked like the paper's Figure 4a. *)
+  let modules =
+    [
+      Rect.make ~x:0. ~y:0. ~w:4. ~h:6.;
+      Rect.make ~x:4. ~y:0. ~w:5. ~h:4.;
+      Rect.make ~x:9. ~y:0. ~w:3. ~h:8.;
+      Rect.make ~x:0. ~y:6. ~w:3. ~h:3.;
+      Rect.make ~x:4. ~y:4. ~w:4. ~h:2.;
+      Rect.make ~x:12. ~y:0. ~w:4. ~h:3.;
+    ]
+  in
+  let width = 16. in
+  Printf.printf "partial floorplan with %d fixed modules:\n\n"
+    (List.length modules);
+  let pl =
+    List.fold_left
+      (fun acc (i, r) -> Placement.add acc (placed i r))
+      (Placement.empty ~chip_width:width)
+      (List.mapi (fun i r -> (i, r)) modules)
+  in
+  print_string (Fp_viz.Ascii.render ~cols:64 pl);
+
+  (* The covering polygon is the skyline (holes at the bottom ignored,
+     because modules are only ever added from the open side). *)
+  let sky = Skyline.of_rects ~width modules in
+  Printf.printf "\nskyline (the covering polygon):\n";
+  List.iter
+    (fun s ->
+      Printf.printf "  x in [%g, %g]  height %g\n" s.Skyline.x0 s.Skyline.x1
+        s.Skyline.h)
+    (Skyline.segments sky);
+
+  (* Horizontal edge-cuts -> covering rectangles. *)
+  let cover = Covering.of_skyline sky in
+  Printf.printf "\n%d covering rectangles (Theorem 2 bound: <= %d modules):\n"
+    (List.length cover) (List.length modules);
+  List.iter (fun r -> Format.printf "  %a@." Rect.pp r) cover;
+  assert (List.length cover <= List.length modules);
+
+  let area_sum = List.fold_left (fun a r -> a +. Rect.area r) 0. cover in
+  Printf.printf "\ncovering area %.1f = profile area %.1f (exact tiling)\n"
+    area_sum (Skyline.area_under sky);
+
+  (* The coarsened variant trades fidelity for even fewer obstacles. *)
+  let coarse = Covering.coarsen ~max_count:3 cover in
+  Printf.printf "coarsened to %d rectangles (adds %.1f spurious area)\n"
+    (List.length coarse)
+    (Rect.union_area coarse -. area_sum)

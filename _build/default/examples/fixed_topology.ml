@@ -1,0 +1,65 @@
+(* Floorplan optimization with a given topology — paper section 2.5.
+
+     dune exec examples/fixed_topology.exe
+
+   "One of the often mentioned formulations of the floorplanning problem
+   assumes that the topology of the chip is given and only shapes of the
+   modules should be optimized. ... the number of integer variables for
+   this formulation is equal to zero."
+
+   We build a deliberately wasteful placement whose *topology* (who is
+   left of / below whom) is nevertheless sensible, then let the pure LP
+   recover the slack: positions shift and flexible modules re-shape, but
+   no module ever jumps over another. *)
+
+module Rect = Fp_geometry.Rect
+module Module_def = Fp_netlist.Module_def
+module Netlist = Fp_netlist.Netlist
+open Fp_core
+
+let placed id r =
+  { Placement.module_id = id; rect = r; envelope = r; rotated = false }
+
+let () =
+  let mods =
+    [
+      Module_def.rigid ~id:0 ~name:"cpu" ~w:10. ~h:8.;
+      Module_def.rigid ~id:1 ~name:"cache" ~w:8. ~h:6.;
+      Module_def.flexible ~id:2 ~name:"rom" ~area:48. ~min_aspect:0.3
+        ~max_aspect:3.;
+      Module_def.flexible ~id:3 ~name:"io" ~area:30. ~min_aspect:0.3
+        ~max_aspect:3.;
+    ]
+  in
+  let nl = Netlist.create ~name:"soc" mods [] in
+
+  (* A sloppy hand placement: everything is spread out, the ROM sits in
+     its narrowest shape, and there is vertical slack everywhere. *)
+  let sloppy =
+    Placement.empty ~chip_width:20.
+    |> Fun.flip Placement.add (placed 0 (Rect.make ~x:0. ~y:0. ~w:10. ~h:8.))
+    |> Fun.flip Placement.add (placed 1 (Rect.make ~x:11. ~y:1. ~w:8. ~h:6.))
+    (* rom at w = sqrt(48*0.3) ~ 3.79 -> h ~ 12.65: tall and thin. *)
+    |> Fun.flip Placement.add
+         (placed 2 (Rect.make ~x:0. ~y:10. ~w:3.8 ~h:(48. /. 3.8)))
+    |> Fun.flip Placement.add (placed 3 (Rect.make ~x:6. ~y:16. ~w:10. ~h:3.))
+  in
+  Printf.printf "sloppy floorplan : height %.2f, utilization %.1f%%\n"
+    sloppy.Placement.height
+    (100. *. Metrics.utilization nl sloppy);
+  print_string (Fp_viz.Ascii.render ~cols:48 sloppy);
+
+  (* The known-topology LP: zero integer variables, exactly one
+     non-overlap inequality per module pair. *)
+  let optimized, stats = Topology.optimize nl sloppy in
+  Printf.printf
+    "\ntopology LP      : %d variables, %d constraints, %d integer vars\n"
+    stats.Topology.num_vars stats.Topology.num_constraints
+    stats.Topology.num_integer_vars;
+  Printf.printf "optimized        : height %.2f -> %.2f, utilization %.1f%%\n"
+    stats.Topology.height_before stats.Topology.height_after
+    (100. *. Metrics.utilization nl optimized);
+  print_string (Fp_viz.Ascii.render ~cols:48 optimized);
+  match Placement.valid optimized with
+  | Ok () -> print_endline "\nresult is a valid floorplan"
+  | Error e -> Printf.printf "\nINVALID: %s\n" e

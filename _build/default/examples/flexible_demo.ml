@@ -1,0 +1,47 @@
+(* Linearizing the flexible-module shape constraint — paper Figure 1 and
+   section 2.4.
+
+     dune exec examples/flexible_demo.exe
+
+   A flexible module has fixed area S and h = S / w: a hyperbola.  The
+   paper keeps the model linear by taking the first two terms of the
+   Taylor series about w_max.  This demo tabulates the true height
+   against both linearizations over the width window, showing why the
+   secant (our default) is the safe choice: the tangent *under*estimates
+   height away from w_max, so floorplans built with it need a
+   legalization pass, while the secant always reserves enough. *)
+
+module Module_def = Fp_netlist.Module_def
+
+let () =
+  let area = 100. and min_aspect = 0.25 and max_aspect = 4. in
+  let m =
+    Module_def.flexible ~id:0 ~name:"flex" ~area ~min_aspect ~max_aspect
+  in
+  let w_min, w_max = Module_def.width_range m in
+  let h_min = area /. w_max in
+  let tangent_slope = area /. (w_max *. w_max) in
+  let secant_slope = area /. (w_min *. w_max) in
+  Printf.printf "flexible module: S = %g, aspect in [%g, %g]\n" area min_aspect
+    max_aspect;
+  Printf.printf "width window [%.2f, %.2f], h(w_max) = %.2f\n\n" w_min w_max
+    h_min;
+  Printf.printf "  Lambda (tangent) = S/w_max^2      = %.4f\n" tangent_slope;
+  Printf.printf "  Lambda (secant)  = S/(w_min w_max) = %.4f\n\n" secant_slope;
+  Printf.printf "%8s %10s %12s %12s %12s %12s\n" "w" "h=S/w" "tangent"
+    "tan err" "secant" "sec err";
+  let steps = 8 in
+  for i = 0 to steps do
+    let w = w_max -. (float_of_int i /. float_of_int steps *. (w_max -. w_min)) in
+    let dw = w_max -. w in
+    let true_h = area /. w in
+    let tangent = h_min +. (tangent_slope *. dw) in
+    let secant = h_min +. (secant_slope *. dw) in
+    Printf.printf "%8.3f %10.3f %12.3f %+12.3f %12.3f %+12.3f\n" w true_h
+      tangent (tangent -. true_h) secant (secant -. true_h)
+  done;
+  print_newline ();
+  Printf.printf
+    "tangent error is <= 0 (underestimates -> possible overlaps, fixed by\n";
+  Printf.printf
+    "the adjustment pass); secant error is >= 0 (conservative reservation).\n"

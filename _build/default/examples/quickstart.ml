@@ -1,0 +1,65 @@
+(* Quickstart: describe a handful of modules, floorplan them, and print
+   the result.
+
+     dune exec examples/quickstart.exe
+
+   This is the smallest end-to-end use of the public API: build a
+   Netlist, call Augment.run, inspect the Placement. *)
+
+module Module_def = Fp_netlist.Module_def
+module Net = Fp_netlist.Net
+module Netlist = Fp_netlist.Netlist
+open Fp_core
+
+let () =
+  (* Six blocks of a toy datapath: four rigid macros and two flexible
+     (synthesizable) blocks with fixed area and bounded aspect ratio. *)
+  let mods =
+    [
+      Module_def.rigid ~id:0 ~name:"alu" ~w:8. ~h:6.;
+      Module_def.rigid ~id:1 ~name:"regfile" ~w:6. ~h:6.;
+      Module_def.rigid ~id:2 ~name:"mul" ~w:7. ~h:5.;
+      Module_def.rigid ~id:3 ~name:"lsu" ~w:5. ~h:4.;
+      Module_def.flexible ~id:4 ~name:"decode" ~area:24. ~min_aspect:0.4
+        ~max_aspect:2.5;
+      Module_def.flexible ~id:5 ~name:"ctrl" ~area:16. ~min_aspect:0.4
+        ~max_aspect:2.5;
+    ]
+  in
+  let pin m s = { Net.module_id = m; side = s } in
+  let nets =
+    [
+      Net.make ~name:"operands" [ pin 1 Net.Right; pin 0 Net.Left ];
+      Net.make ~name:"result" [ pin 0 Net.Right; pin 1 Net.Left ];
+      Net.make ~name:"mul_bus" [ pin 0 Net.Top; pin 2 Net.Bottom ];
+      Net.make ~name:"mem" ~criticality:0.8 [ pin 3 Net.Left; pin 1 Net.Bottom ];
+      Net.make ~name:"dec" [ pin 4 Net.Right; pin 0 Net.Bottom; pin 1 Net.Top ];
+      Net.make ~name:"ctl" [ pin 5 Net.Top; pin 4 Net.Bottom; pin 3 Net.Top ];
+    ]
+  in
+  let nl = Netlist.create ~name:"toy_datapath" mods nets in
+  Format.printf "%a@.@." Netlist.pp_summary nl;
+
+  (* Floorplan with the default configuration (connectivity-driven
+     successive augmentation, chip-area objective). *)
+  let result = Augment.run nl in
+  let pl = result.Augment.placement in
+  Printf.printf "chip: %.1f x %.1f, utilization %.1f%%, HPWL %.1f\n"
+    pl.Placement.chip_width pl.Placement.height
+    (100. *. Metrics.utilization nl pl)
+    (Metrics.hpwl nl pl);
+  List.iter
+    (fun step ->
+      Printf.printf
+        "  step placed [%s]: %d integer vars, %d B&B nodes, height %.1f\n"
+        (String.concat ", " (List.map string_of_int step.Augment.group))
+        step.Augment.num_integer_vars step.Augment.nodes
+        step.Augment.step_height)
+    result.Augment.steps;
+
+  (* The floorplan is a first-class value: validate and render it. *)
+  (match Placement.valid pl with
+  | Ok () -> print_endline "floorplan is valid (no overlaps, inside chip)"
+  | Error e -> Printf.printf "INVALID: %s\n" e);
+  print_newline ();
+  print_string (Fp_viz.Ascii.render ~cols:60 pl)

@@ -1,0 +1,45 @@
+(* Load a user instance file and run the full flow, comparing the MILP
+   floorplanner against the slicing baseline on it.
+
+     dune exec examples/soc_instance.exe [FILE]
+
+   Defaults to instances/soc12.fp (relative to the repo root). *)
+
+module Netlist = Fp_netlist.Netlist
+module Parser = Fp_netlist.Parser
+open Fp_core
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "instances/soc12.fp"
+  in
+  match Parser.of_file path with
+  | Error e ->
+    Printf.eprintf "cannot load %s: %s\n" path e;
+    exit 1
+  | Ok nl ->
+    Format.printf "%a@.@." Netlist.pp_summary nl;
+    (* MILP successive augmentation. *)
+    let res = Augment.run nl in
+    let milp = Compact.vertical res.Augment.placement in
+    let milp, _ = Topology.optimize nl milp in
+    Printf.printf "MILP      : %.1f x %.1f (area %.0f), util %.1f%%, HPWL %.0f\n"
+      milp.Placement.chip_width milp.Placement.height
+      (Placement.chip_area milp)
+      (100. *. Metrics.utilization nl milp)
+      (Metrics.hpwl nl milp);
+    (* Slicing baseline at the same chip width. *)
+    let sa_cfg =
+      { Fp_slicing.Anneal.default_config with
+        Fp_slicing.Anneal.width_limit = Some milp.Placement.chip_width;
+        wire_weight = 0.5 }
+    in
+    let sa, stats = Fp_slicing.Anneal.run ~config:sa_cfg nl in
+    Printf.printf "slicing SA: %.1f x %.1f (area %.0f), util %.1f%%, HPWL %.0f \
+                   (%d moves, %.2f s)\n"
+      sa.Placement.chip_width sa.Placement.height (Placement.chip_area sa)
+      (100. *. Metrics.utilization nl sa)
+      (Metrics.hpwl nl sa) stats.Fp_slicing.Anneal.iterations
+      stats.Fp_slicing.Anneal.elapsed;
+    print_newline ();
+    print_string (Fp_viz.Ascii.render_with_title ~cols:64 ~title:"MILP floorplan" milp)

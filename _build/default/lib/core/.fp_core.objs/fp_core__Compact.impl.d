@@ -1,0 +1,1 @@
+lib/core/compact.ml: Fp_geometry List Placement

@@ -1,0 +1,1 @@
+lib/core/formulation.mli: Fp_geometry Fp_milp Fp_netlist Placement

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Float Fp_geometry Fp_netlist Fun List Option Placement

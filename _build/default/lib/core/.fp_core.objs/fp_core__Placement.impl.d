@@ -1,0 +1,1 @@
+lib/core/placement.ml: Array Float Format Fp_geometry Fp_netlist List Printf String

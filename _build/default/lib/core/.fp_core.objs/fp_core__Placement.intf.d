@@ -1,0 +1,1 @@
+lib/core/placement.mli: Format Fp_geometry Fp_netlist Result

@@ -1,0 +1,1 @@
+lib/core/refine.ml: Array Compact Float Formulation Fp_geometry Fp_milp Fp_netlist List Placement Warm_start

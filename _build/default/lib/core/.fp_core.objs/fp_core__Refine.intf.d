@@ -1,0 +1,1 @@
+lib/core/refine.mli: Formulation Fp_milp Fp_netlist Placement

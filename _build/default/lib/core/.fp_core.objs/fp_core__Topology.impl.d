@@ -1,0 +1,1 @@
+lib/core/topology.ml: Array Float Formulation Fp_geometry Fp_lp Fp_milp Fp_netlist List Placement Printf

@@ -1,0 +1,1 @@
+lib/core/topology.mli: Formulation Fp_netlist Placement

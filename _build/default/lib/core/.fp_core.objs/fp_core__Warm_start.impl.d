@@ -1,0 +1,1 @@
+lib/core/warm_start.ml: Array Float Formulation Fp_geometry Fp_netlist List Printf

@@ -1,0 +1,1 @@
+lib/core/warm_start.mli: Formulation Fp_geometry

@@ -1,0 +1,287 @@
+module Rect = Fp_geometry.Rect
+module Skyline = Fp_geometry.Skyline
+module Covering = Fp_geometry.Covering
+module Tol = Fp_geometry.Tol
+module Netlist = Fp_netlist.Netlist
+module Module_def = Fp_netlist.Module_def
+module Ordering = Fp_netlist.Ordering
+module Branch_bound = Fp_milp.Branch_bound
+
+let src = Logs.Src.create "fp.augment" ~doc:"successive augmentation"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type envelope_config = { pitch_h : float; pitch_v : float; share : float }
+
+type config = {
+  chip_width : float option;
+  group_size : int;
+  ordering : [ `Linear | `Random of int | `Area_desc ];
+  objective : Formulation.objective;
+  allow_rotation : bool;
+  linearization : Formulation.linearization;
+  use_covering : bool;
+  max_cover_rects : int option;
+  envelope : envelope_config option;
+  compact_each_step : bool;
+  critical_net_bound : (Fp_netlist.Net.t -> float option) option;
+  milp : Branch_bound.params;
+}
+
+let default_config =
+  {
+    chip_width = None;
+    group_size = 4;
+    ordering = `Linear;
+    objective = Formulation.Min_height;
+    allow_rotation = true;
+    linearization = Formulation.Secant;
+    use_covering = true;
+    max_cover_rects = Some 8;
+    envelope = None;
+    compact_each_step = true;
+    critical_net_bound = None;
+    milp =
+      {
+        Branch_bound.default_params with
+        Branch_bound.node_limit = 4000;
+        time_limit = 20.;
+        min_improvement = 1e-4;
+        branch_rule = Branch_bound.First_fractional;
+      };
+  }
+
+type step_stat = {
+  group : int list;
+  num_integer_vars : int;
+  num_constraints : int;
+  num_cover_rects : int;
+  milp_status : Branch_bound.status;
+  nodes : int;
+  lp_solves : int;
+  warm_height : float;
+  step_height : float;
+  step_time : float;
+}
+
+type result = {
+  placement : Placement.t;
+  steps : step_stat list;
+  total_time : float;
+  config : config;
+}
+
+let margins_of cfg nl id =
+  match cfg.envelope with
+  | None -> (0., 0., 0., 0.)
+  | Some e ->
+    let pl, pr, pb, pt = Netlist.pins_per_side nl id in
+    let f pins pitch = float_of_int pins *. pitch *. e.share in
+    (f pl e.pitch_v, f pr e.pitch_v, f pb e.pitch_h, f pt e.pitch_h)
+
+let items_of_group cfg nl group =
+  List.map
+    (fun id ->
+      { Formulation.def = Netlist.module_at nl id;
+        margins = margins_of cfg nl id })
+    group
+
+let item_max_height ~allow_rotation ~linearization (it : Formulation.item) =
+  let l, r, b, t = it.Formulation.margins in
+  match it.Formulation.def.Module_def.shape with
+  | Module_def.Rigid { w; h } ->
+    let he = h +. b +. t and we = w +. l +. r in
+    if allow_rotation then Float.max he we else he
+  | Module_def.Flexible { area; min_aspect; max_aspect } ->
+    let w_min = Float.sqrt (area *. min_aspect)
+    and w_max = Float.sqrt (area *. max_aspect) in
+    let h_base = area /. w_max in
+    let slope =
+      match linearization with
+      | Formulation.Tangent -> area /. (w_max *. w_max)
+      | Formulation.Secant ->
+        if w_max -. w_min <= Tol.eps then 0. else area /. (w_min *. w_max)
+    in
+    h_base +. b +. t +. (slope *. Float.max 0. (w_max -. w_min))
+
+(* Default chip width: a roughly square chip for the total reserved
+   area, never narrower than the widest single module. *)
+let derive_chip_width cfg nl =
+  let items =
+    items_of_group cfg nl (List.init (Netlist.num_modules nl) Fun.id)
+  in
+  let reserved =
+    List.fold_left
+      (fun a it ->
+        a
+        +. Formulation.item_min_reserved_area
+             ~linearization:cfg.linearization it)
+      0. items
+  in
+  let min_w =
+    List.fold_left
+      (fun a it ->
+        Float.max a
+          (Formulation.item_min_width ~allow_rotation:cfg.allow_rotation it))
+      0. items
+  in
+  Float.max (Float.sqrt reserved) min_w
+
+let ordering_of cfg nl =
+  match cfg.ordering with
+  | `Linear -> Ordering.linear nl
+  | `Random seed -> Ordering.random ~seed nl
+  | `Area_desc -> Ordering.by_area_desc nl
+
+let obstacles_of cfg skyline placement =
+  if cfg.use_covering then begin
+    let cover = Covering.of_skyline skyline in
+    match cfg.max_cover_rects with
+    | Some m when List.length cover > m -> Covering.coarsen ~max_count:m cover
+    | Some _ | None -> cover
+  end
+  else Placement.envelopes placement
+
+let run ?(config = default_config) nl =
+  let cfg = config in
+  if Netlist.num_modules nl = 0 then
+    invalid_arg "Augment.run: empty instance";
+  if cfg.group_size < 1 then invalid_arg "Augment.run: group_size < 1";
+  let t0 = Unix.gettimeofday () in
+  let chip_width =
+    match cfg.chip_width with
+    | Some w -> w
+    | None -> derive_chip_width cfg nl
+  in
+  let order = ordering_of cfg nl in
+  let groups = Ordering.groups ~size:cfg.group_size order in
+  let skyline = ref (Skyline.create ~width:chip_width) in
+  let placement = ref (Placement.empty ~chip_width) in
+  let steps = ref [] in
+  List.iter
+    (fun group ->
+      let step_start = Unix.gettimeofday () in
+      (* Largest modules first: their pair binaries are declared first, so
+         First_fractional branching decides the big shapes early. *)
+      let group =
+        List.sort
+          (fun a b ->
+            compare
+              (Module_def.area (Netlist.module_at nl b))
+              (Module_def.area (Netlist.module_at nl a)))
+          group
+      in
+      let items = Array.of_list (items_of_group cfg nl group) in
+      let ids = Array.of_list group in
+      let obstacles = obstacles_of cfg !skyline !placement in
+      let height_bound =
+        Skyline.max_height !skyline
+        +. Array.fold_left
+             (fun a it ->
+               a
+               +. item_max_height ~allow_rotation:cfg.allow_rotation
+                    ~linearization:cfg.linearization it)
+             0. items
+        +. 1.
+      in
+      (* Warm start: greedy bottom-left packing on the profile of the
+         obstacles actually passed to the MILP.  This must NOT be the
+         placed-module skyline: coarsened covering rectangles are hulls
+         that can protrude above it, and a warm placement on the lower
+         profile would overlap them. *)
+      let obstacle_sky =
+        List.fold_left Skyline.add_rect
+          (Skyline.create ~width:chip_width)
+          obstacles
+      in
+      let warm =
+        Warm_start.place_group ~skyline:obstacle_sky
+          ~allow_rotation:cfg.allow_rotation
+          ~linearization:cfg.linearization items
+      in
+      let warm_height = Warm_start.height_after ~skyline:obstacle_sky warm in
+      let wire_context =
+        match (cfg.objective, cfg.critical_net_bound) with
+        | Formulation.Min_height, None -> None
+        | Formulation.Min_height_plus_wire _, _ | _, Some _ ->
+          (* Length bounds need the net bounding-box variables too. *)
+          Some (nl, !placement, ids)
+      in
+      let built =
+        Formulation.build ~chip_width ~height_bound ~objective:cfg.objective
+          ~allow_rotation:cfg.allow_rotation
+          ~linearization:cfg.linearization ~fixed:obstacles ?wire_context
+          ?net_length_bound:cfg.critical_net_bound
+          (Array.to_list items)
+      in
+      let warm_sol =
+        (* The warm placement avoids the obstacles by construction; if
+           numerics still reject it, search without an incumbent rather
+           than aborting the run. *)
+        match
+          Formulation.assign_warm built
+            (fun k -> warm.(k).Warm_start.envelope)
+            ~rotated:(fun k -> warm.(k).Warm_start.rotated)
+        with
+        | sol -> Some sol
+        | exception Invalid_argument msg ->
+          Log.warn (fun f -> f "warm start unusable: %s" msg);
+          None
+      in
+      let outcome =
+        Branch_bound.solve ~params:cfg.milp ?warm:warm_sol
+          built.Formulation.model
+      in
+      let sol =
+        match (outcome.Branch_bound.best, warm_sol) with
+        | Some (x, _), _ -> x
+        | None, Some w ->
+          Log.warn (fun f ->
+              f "MILP step found no solution; falling back to warm start");
+          w
+        | None, None ->
+          (* Last resort: trust the geometric warm placement even though
+             the model rejected its encoding. *)
+          Log.err (fun f -> f "MILP step failed outright; using raw warm packing");
+          Formulation.assign_warm built
+            (fun k -> warm.(k).Warm_start.envelope)
+            ~rotated:(fun k -> warm.(k).Warm_start.rotated)
+      in
+      let extracted = Formulation.extract built sol in
+      Array.iteri
+        (fun k (envelope, silicon, rotated) ->
+          placement :=
+            Placement.add !placement
+              { Placement.module_id = ids.(k); rect = silicon; envelope;
+                rotated })
+        extracted;
+      if cfg.compact_each_step then placement := Compact.vertical !placement;
+      skyline :=
+        Skyline.of_rects ~width:chip_width (Placement.envelopes !placement);
+      let stat =
+        {
+          group;
+          num_integer_vars = Fp_milp.Model.num_integer_vars built.Formulation.model;
+          num_constraints = Fp_milp.Model.num_constrs built.Formulation.model;
+          num_cover_rects = List.length obstacles;
+          milp_status = outcome.Branch_bound.status;
+          nodes = outcome.Branch_bound.nodes;
+          lp_solves = outcome.Branch_bound.lp_solves;
+          warm_height;
+          step_height = Skyline.max_height !skyline;
+          step_time = Unix.gettimeofday () -. step_start;
+        }
+      in
+      Log.info (fun f ->
+          f "step [%s]: %d ints, %d rows, %d covers, %d nodes, h=%.2f (warm %.2f)"
+            (String.concat "," (List.map string_of_int group))
+            stat.num_integer_vars stat.num_constraints stat.num_cover_rects
+            stat.nodes stat.step_height stat.warm_height);
+      steps := stat :: !steps)
+    groups;
+  {
+    placement = !placement;
+    steps = List.rev !steps;
+    total_time = Unix.gettimeofday () -. t0;
+    config = cfg;
+  }

@@ -1,0 +1,93 @@
+(** Successive augmentation — the paper's solution method (section 3,
+    Figure 3).
+
+    The floorplan is built by repeatedly adding a small group of modules
+    to the partial floorplan, each addition solved as a 0–1 MILP:
+
+    {v
+    (1) select a seed group;
+    (2)-(3) solve its MILP;
+    (4) while modules remain:
+    (5)   select the next group (connectivity / random ordering);
+    (7)   replace the partial floorplan by <= N covering rectangles;
+    (8)-(9) formulate and solve the MILP for the group + covering rects;
+    (12)-(13) (routing and adjustment live in Fp_route / Compact)
+    v}
+
+    The chip width is fixed and height is minimized, so the MILP count of
+    integer variables stays roughly constant per step and total time
+    grows roughly linearly in the number of groups — Table 1's claim. *)
+
+type envelope_config = {
+  pitch_h : float;
+      (** metal width + spacing of one horizontal routing track *)
+  pitch_v : float;  (** same for vertical tracks *)
+  share : float;
+      (** fraction of a channel charged to each of the two modules
+          flanking it; 0.5 by default *)
+}
+
+type config = {
+  chip_width : float option;
+      (** [None]: use [sqrt total_reserved_area], clamped so the widest
+          module fits *)
+  group_size : int;          (** modules added per augmentation step *)
+  ordering : [ `Linear | `Random of int | `Area_desc ];
+  objective : Formulation.objective;
+  allow_rotation : bool;
+  linearization : Formulation.linearization;
+  use_covering : bool;
+      (** [false] keeps every placed module as its own obstacle — the
+          ablation showing what Theorem 2 buys *)
+  max_cover_rects : int option;
+      (** coarsen the covering to at most this many rectangles *)
+  envelope : envelope_config option;  (** around-the-cell routing mode *)
+  compact_each_step : bool;
+      (** run {!Compact.vertical} after every augmentation step (an
+          extension beyond the paper's end-of-run adjustment; ablatable) *)
+  critical_net_bound : (Fp_netlist.Net.t -> float option) option;
+      (** per-net HPWL upper bounds (the paper's timing constraints on
+          critical nets).  Enforced as hard constraints inside every MILP
+          step that sees the net; {e best-effort across steps} — if an
+          earlier group already stretched the net so far that a later
+          step cannot satisfy the bound, that step falls back to its
+          warm start (and logs a warning) rather than failing the run *)
+  milp : Fp_milp.Branch_bound.params;
+}
+
+val default_config : config
+(** group size 4, linear ordering, area objective, rotation on, secant
+    linearization, covering on, no envelopes, MILP budget 4000 nodes /
+    20 s per step. *)
+
+type step_stat = {
+  group : int list;              (** module ids added this step *)
+  num_integer_vars : int;
+  num_constraints : int;
+  num_cover_rects : int;
+  milp_status : Fp_milp.Branch_bound.status;
+  nodes : int;
+  lp_solves : int;
+  warm_height : float;           (** bottom-left incumbent height *)
+  step_height : float;           (** chip height after this step *)
+  step_time : float;             (** seconds *)
+}
+
+type result = {
+  placement : Placement.t;
+  steps : step_stat list;
+  total_time : float;
+  config : config;
+}
+
+val run : ?config:config -> Fp_netlist.Netlist.t -> result
+(** Run the full successive-augmentation floorplanner on an instance.
+    Deterministic for a fixed config.  @raise Invalid_argument on an
+    instance with no modules or a chip width too small for some
+    module. *)
+
+val items_of_group :
+  config -> Fp_netlist.Netlist.t -> int list -> Formulation.item list
+(** The formulation items (with envelope margins applied per the config)
+    for a group of module ids — exposed for tests and the ablation
+    bench. *)

@@ -1,0 +1,39 @@
+module Rect = Fp_geometry.Rect
+module Skyline = Fp_geometry.Skyline
+
+let vertical pl =
+  let w = pl.Placement.chip_width in
+  let sorted =
+    List.sort
+      (fun a b ->
+        compare
+          (a.Placement.envelope.Rect.y, a.Placement.envelope.Rect.x)
+          (b.Placement.envelope.Rect.y, b.Placement.envelope.Rect.x))
+      pl.Placement.placed
+  in
+  let sky = ref (Skyline.create ~width:w) in
+  let dropped = ref (Placement.empty ~chip_width:w) in
+  List.iter
+    (fun p ->
+      let e = p.Placement.envelope in
+      let floor_y =
+        Skyline.height_over !sky ~x0:e.Rect.x ~x1:(Rect.x_max e)
+      in
+      let dy = floor_y -. e.Rect.y in
+      let p' =
+        {
+          p with
+          Placement.envelope = Rect.translate ~dx:0. ~dy e;
+          rect = Rect.translate ~dx:0. ~dy p.Placement.rect;
+        }
+      in
+      sky := Skyline.add_rect !sky p'.Placement.envelope;
+      dropped := Placement.add !dropped p')
+    sorted;
+  !dropped
+
+let gap_area pl =
+  let w = pl.Placement.chip_width in
+  let sky = Skyline.of_rects ~width:w (Placement.envelopes pl) in
+  let covered = Rect.union_area (Placement.envelopes pl) in
+  Skyline.area_under sky -. covered

@@ -1,0 +1,20 @@
+(** Floorplan adjustment (paper Figure 3, step 13: "Adjust floorplan").
+
+    A gravity pass: modules drop vertically onto the skyline of the
+    modules below them, in ascending-[y] order, keeping their x
+    positions.  This removes the dead space successive augmentation can
+    leave between groups, and legalizes the small overlaps that tangent
+    linearization of flexible modules can introduce (see
+    {!Formulation.linearization}). *)
+
+val vertical : Placement.t -> Placement.t
+(** Drop every module as far down as its x-span allows.  The relative
+    vertical order of overlapping-x modules is preserved, so the result
+    is overlap-free; the chip height never increases (except from
+    legalizing a tangent-linearization overlap, which can reveal height
+    that was already physically there). *)
+
+val gap_area : Placement.t -> float
+(** Dead area under the skyline not covered by any envelope — a direct
+    measure of how much {!vertical} can still reclaim plus intrinsic
+    packing waste. *)

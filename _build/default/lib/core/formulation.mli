@@ -1,0 +1,152 @@
+(** MILP formulation of one floorplanning (sub)problem — paper section 2.
+
+    Builds the 0–1 mixed integer program for placing a group of {e items}
+    (modules, possibly inflated into routing envelopes) into a chip strip
+    of fixed width, around a set of {e fixed} rectangles (the covering
+    rectangles of the partial floorplan).  Implements:
+
+    - eq. (2)/(3): pairwise non-overlap via big-M disjunctions controlled
+      by a 0–1 pair [(x_ij, y_ij)], chip bounds, minimized height [y];
+    - eq. (4)/(5): optional 90° rotation of rigid modules via a 0–1 [z_i];
+    - eq. (6)–(8): flexible modules with fixed area and linearized height
+      [h_i = h_i(w_max) + Λ_i Δw_i] — tangent (the paper's Taylor
+      expansion) or secant (conservative: the linearized height dominates
+      the true hyperbola, so floorplans are overlap-free without a
+      post-adjustment);
+    - optional wirelength objective term: per-net half-perimeter bounding
+      boxes over generalized pins (paper's "Chip Area + Wire Length"
+      objective of Table 2);
+    - a valid area cut [y >= occupied_area / W] that gives the LP
+      relaxation a meaningful bound (big-M disjunctions alone relax to
+      almost nothing);
+    - geometric presolve of item-vs-fixed relations: relations that are
+      impossible given the chip boundaries lose their integer variables
+      (one relation left → no binaries at all, two → a single binary),
+      which is what keeps subproblem integer counts low in practice. *)
+
+module Rect = Fp_geometry.Rect
+module Model = Fp_milp.Model
+module Expr = Fp_milp.Expr
+
+type linearization = Tangent | Secant
+
+type objective =
+  | Min_height
+  | Min_height_plus_wire of float
+      (** [lambda]: minimize [y + lambda * total HPWL]. *)
+
+type item = {
+  def : Fp_netlist.Module_def.t;
+  margins : float * float * float * float;
+      (** (left, right, bottom, top) envelope margins; all zero when
+          envelopes are off. *)
+}
+
+val plain_item : Fp_netlist.Module_def.t -> item
+(** Item with zero margins. *)
+
+type rel = Rel_left | Rel_right | Rel_below | Rel_above
+(** Position of item [i] relative to the other object [j]. *)
+
+type sep =
+  | Fixed_rel of rel
+  | Choice2 of { bin : Model.var; if0 : rel; if1 : rel }
+  | Choice4 of { bx : Model.var; by : Model.var }
+
+type other = Other_item of int | Other_fixed of int
+
+type flex_info = {
+  dw_var : Model.var;
+  dw_ub : float;
+  w_max_env : float;   (** envelope width at [dw = 0] *)
+  h_base_env : float;  (** envelope height at [dw = 0] *)
+  slope : float;       (** Λ_i of eq. (7), on the envelope *)
+}
+
+type net_info = {
+  net : Fp_netlist.Net.t;
+  lx : Model.var;
+  rx : Model.var;
+  ly : Model.var;
+  ry : Model.var;
+  pin_exprs : (Expr.t * Expr.t) list;
+}
+
+type built = {
+  model : Model.t;
+  chip_width : float;
+  height_bound : float;
+  items : item array;
+  x : Model.var array;
+  y : Model.var array;
+  rot : Model.var option array;
+  flex : flex_info option array;
+  w_expr : Expr.t array;  (** envelope width of each item *)
+  h_expr : Expr.t array;  (** envelope height of each item *)
+  height : Model.var;     (** chip height variable [y] *)
+  seps : (int * other * sep) list;
+  net_infos : net_info list;
+  fixed : Rect.t list;
+  linearization : linearization;
+}
+
+val build :
+  chip_width:float ->
+  height_bound:float ->
+  ?objective:objective ->
+  ?allow_rotation:bool ->
+  ?linearization:linearization ->
+  ?fixed:Rect.t list ->
+  ?wire_context:Fp_netlist.Netlist.t * Placement.t * int array ->
+  ?net_length_bound:(Fp_netlist.Net.t -> float option) ->
+  item list ->
+  built
+(** [build ~chip_width ~height_bound items] assembles the model.
+
+    [wire_context = (netlist, partial_placement, module_ids)] supplies
+    what the wirelength term needs: [module_ids.(k)] is the netlist id of
+    item [k]; nets touching at least one item and one other placed-or-item
+    pin contribute a bounding-box term.  Required when [objective] is
+    [Min_height_plus_wire].
+
+    [net_length_bound] implements the paper's "additional constraints on
+    the length of critical nets" (section 2.2): when it returns [Some b]
+    for a captured net, the constraint [HPWL(net) <= b] is added — the
+    MILP then refuses placements that stretch that net, independent of
+    the objective.  Requires [wire_context] to capture the nets.
+
+    @raise Invalid_argument if an item cannot fit the strip width, if
+    [height_bound] is too small for any item, or if a wire objective is
+    requested without [wire_context]. *)
+
+val item_min_width : ?allow_rotation:bool -> item -> float
+(** Smallest feasible envelope width over rotation / flexing. *)
+
+val item_min_height : ?allow_rotation:bool -> item -> float
+
+val item_min_reserved_area : linearization:linearization -> item -> float
+(** Smallest area the item's reserved envelope can take over rotation /
+    flexing — a term of the valid cut [W * y >= occupied area]. *)
+
+val rel_of_geometry :
+  Rect.t -> Rect.t -> rel option
+(** Relation of rectangle [a] to rectangle [b] if some non-overlap
+    disjunct is satisfied (preference order: left, right, below, above);
+    [None] when they overlap. *)
+
+val assign_warm :
+  built -> (int -> Rect.t) -> rotated:(int -> bool) -> float array
+(** Build a full variable assignment from a concrete envelope placement
+    of the items: [f k] is the placed envelope of item [k]; [rotated k]
+    whether a rigid item was rotated.  Fills positions, rotation and
+    flex variables, all separation binaries, net bounding boxes, and the
+    chip height.  The result is suitable as a warm start for
+    {!Fp_milp.Branch_bound.solve}.
+    @raise Invalid_argument if some pair of placed envelopes overlaps. *)
+
+val extract :
+  built -> float array -> (Rect.t * Rect.t * bool) array
+(** Per item: [(envelope, silicon, rotated)] decoded from a solution
+    vector.  For tangent linearization the silicon of a flexible module
+    may stick out of its reserved envelope; the returned envelope is then
+    the hull of both (see DESIGN.md). *)

@@ -1,0 +1,44 @@
+module Netlist = Fp_netlist.Netlist
+module Net = Fp_netlist.Net
+module Module_def = Fp_netlist.Module_def
+
+let placed_area nl pl =
+  List.fold_left
+    (fun acc p ->
+      acc +. Module_def.area (Netlist.module_at nl p.Placement.module_id))
+    0. pl.Placement.placed
+
+let utilization nl pl =
+  let chip = Placement.chip_area pl in
+  if chip <= 0. then 0. else placed_area nl pl /. chip
+
+let utilization_bbox nl pl =
+  let chip = Placement.bounding_area pl in
+  if chip <= 0. then 0. else placed_area nl pl /. chip
+
+let net_hpwl _nl pl net =
+  let pins =
+    List.map
+      (fun p ->
+        match Placement.find pl p.Net.module_id with
+        | None -> None
+        | Some _ ->
+          Some (Placement.pin_position pl ~module_id:p.Net.module_id p.Net.side))
+      net.Net.pins
+  in
+  if List.exists Option.is_none pins then None
+  else
+    let pts = List.filter_map Fun.id pins in
+    let xs = List.map (fun (p : Fp_geometry.Point.t) -> p.x) pts in
+    let ys = List.map (fun (p : Fp_geometry.Point.t) -> p.y) pts in
+    let span vs =
+      List.fold_left Float.max neg_infinity vs
+      -. List.fold_left Float.min infinity vs
+    in
+    Some (span xs +. span ys)
+
+let hpwl nl pl =
+  List.fold_left
+    (fun acc net ->
+      match net_hpwl nl pl net with Some l -> acc +. l | None -> acc)
+    0. (Netlist.nets nl)

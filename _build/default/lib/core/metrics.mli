@@ -1,0 +1,22 @@
+(** Floorplan quality metrics used throughout the paper's tables. *)
+
+val utilization : Fp_netlist.Netlist.t -> Placement.t -> float
+(** Total module (silicon) area divided by chip area
+    ([chip_width * height]) — the "Area Utilisation" column of Tables 1
+    and 2.  Only the areas of {e placed} modules count, so the figure is
+    meaningful for partial floorplans too. *)
+
+val utilization_bbox : Fp_netlist.Netlist.t -> Placement.t -> float
+(** Same, against the tight bounding box instead of [W * height]. *)
+
+val hpwl : Fp_netlist.Netlist.t -> Placement.t -> float
+(** Half-perimeter wirelength over all nets whose pins are all placed,
+    using generalized pin positions (side midpoints).  This is the "Wire
+    Length" figure for the over-the-cell experiments (Table 2), where no
+    explicit routes exist. *)
+
+val net_hpwl : Fp_netlist.Netlist.t -> Placement.t -> Fp_netlist.Net.t -> float option
+(** HPWL of one net; [None] when some pin's module is unplaced. *)
+
+val placed_area : Fp_netlist.Netlist.t -> Placement.t -> float
+(** Sum of silicon areas of placed modules. *)

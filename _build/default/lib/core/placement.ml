@@ -1,0 +1,86 @@
+module Rect = Fp_geometry.Rect
+module Tol = Fp_geometry.Tol
+
+type placed = {
+  module_id : int;
+  rect : Rect.t;
+  envelope : Rect.t;
+  rotated : bool;
+}
+
+type t = { chip_width : float; height : float; placed : placed list }
+
+let empty ~chip_width = { chip_width; height = 0.; placed = [] }
+
+let add t p =
+  if List.exists (fun q -> q.module_id = p.module_id) t.placed then
+    invalid_arg
+      (Printf.sprintf "Placement.add: module %d already placed" p.module_id);
+  let placed =
+    List.merge
+      (fun a b -> compare a.module_id b.module_id)
+      t.placed [ p ]
+  in
+  { t with placed; height = Float.max t.height (Rect.y_max p.envelope) }
+
+let find t id = List.find_opt (fun p -> p.module_id = id) t.placed
+let num_placed t = List.length t.placed
+let chip_area t = t.chip_width *. t.height
+
+let envelopes t = List.map (fun p -> p.envelope) t.placed
+let rects t = List.map (fun p -> p.rect) t.placed
+
+let bounding_area t =
+  match Rect.bounding_box (envelopes t) with
+  | None -> 0.
+  | Some bb -> Rect.area bb
+
+let valid t =
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let arr = Array.of_list t.placed in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    let p = arr.(i) in
+    if not (Rect.contains_rect ~outer:p.envelope ~inner:p.rect) then
+      note "module %d: silicon escapes its envelope" p.module_id;
+    if
+      Tol.lt p.envelope.Rect.x 0.
+      || Tol.lt (t.chip_width) (Rect.x_max p.envelope)
+      || Tol.lt p.envelope.Rect.y 0.
+      || Tol.lt t.height (Rect.y_max p.envelope)
+    then note "module %d: outside the chip" p.module_id;
+    for j = i + 1 to n - 1 do
+      let q = arr.(j) in
+      if Rect.overlaps p.envelope q.envelope then
+        note "modules %d and %d overlap (envelope overlap area %g)"
+          p.module_id q.module_id
+          (Rect.overlap_area p.envelope q.envelope)
+    done
+  done;
+  match !problems with
+  | [] -> Ok ()
+  | ps -> Error (String.concat "; " (List.rev ps))
+
+let pin_position t ~module_id side =
+  match find t module_id with
+  | None -> raise Not_found
+  | Some p ->
+    let s =
+      match side with
+      | Fp_netlist.Net.Left -> `Left
+      | Fp_netlist.Net.Right -> `Right
+      | Fp_netlist.Net.Bottom -> `Bottom
+      | Fp_netlist.Net.Top -> `Top
+    in
+    Rect.side_midpoint p.rect s
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>placement W=%g H=%g (%d modules)" t.chip_width
+    t.height (num_placed t);
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "@,  #%d %a%s" p.module_id Rect.pp p.rect
+        (if p.rotated then " (rot)" else ""))
+    t.placed;
+  Format.fprintf ppf "@]"

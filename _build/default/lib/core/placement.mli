@@ -1,0 +1,51 @@
+(** Floorplan placements — the output of the floorplanner.
+
+    A placement records, per module, both the {e silicon} rectangle and the
+    {e envelope} rectangle (silicon plus the per-side routing margins of
+    paper section 3.2).  Without envelopes the two coincide.  Envelopes may
+    abut but never overlap; silicon sits inside its envelope. *)
+
+type placed = {
+  module_id : int;
+  rect : Fp_geometry.Rect.t;      (** silicon *)
+  envelope : Fp_geometry.Rect.t;  (** silicon + routing margins *)
+  rotated : bool;                 (** rigid module placed rotated 90° *)
+}
+
+type t = {
+  chip_width : float;
+  height : float;   (** chip height: max envelope top *)
+  placed : placed list;  (** ascending [module_id]; possibly partial *)
+}
+
+val empty : chip_width:float -> t
+
+val add : t -> placed -> t
+(** Append one module (no overlap check — use {!valid} to audit).
+    @raise Invalid_argument if the module id is already present. *)
+
+val find : t -> int -> placed option
+val num_placed : t -> int
+
+val chip_area : t -> float
+(** [chip_width * height]. *)
+
+val bounding_area : t -> float
+(** Area of the tight bounding box of the envelopes — what the paper calls
+    the chip area when the width is not saturated. *)
+
+val envelopes : t -> Fp_geometry.Rect.t list
+val rects : t -> Fp_geometry.Rect.t list
+
+val valid : t -> (unit, string) Result.t
+(** Checks the floorplan invariants: no two envelopes overlap, every
+    silicon rect lies inside its envelope, everything lies inside the
+    chip [\[0, W\] x [0, height\]]. *)
+
+val pin_position :
+  t -> module_id:int -> Fp_netlist.Net.side -> Fp_geometry.Point.t
+(** Position of the generalized pin of a module: the midpoint of the given
+    side of its {e silicon} rectangle (paper section 3.2).
+    @raise Not_found if the module is not placed. *)
+
+val pp : Format.formatter -> t -> unit

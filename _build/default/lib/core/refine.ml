@@ -1,0 +1,144 @@
+module Rect = Fp_geometry.Rect
+module Skyline = Fp_geometry.Skyline
+module Covering = Fp_geometry.Covering
+module Tol = Fp_geometry.Tol
+module Netlist = Fp_netlist.Netlist
+module Branch_bound = Fp_milp.Branch_bound
+
+type report = {
+  rounds_attempted : int;
+  rounds_improved : int;
+  height_before : float;
+  height_after : float;
+}
+
+let default_milp =
+  {
+    Branch_bound.default_params with
+    Branch_bound.node_limit = 1500;
+    time_limit = 5.;
+    min_improvement = 1e-4;
+  }
+
+(* Envelope margins of a placed module, mapped back to the module's
+   unrotated frame (extraction rotates (l,r,b,t) to (b,t,l,r)). *)
+let unrotated_margins (p : Placement.placed) =
+  let e = p.Placement.envelope and r = p.Placement.rect in
+  let l = r.Rect.x -. e.Rect.x
+  and rr = Rect.x_max e -. Rect.x_max r
+  and b = r.Rect.y -. e.Rect.y
+  and t = Rect.y_max e -. Rect.y_max r in
+  if p.Placement.rotated then (b, t, l, rr) else (l, rr, b, t)
+
+let without pl id =
+  {
+    pl with
+    Placement.placed =
+      List.filter (fun p -> p.Placement.module_id <> id) pl.Placement.placed;
+    height =
+      List.fold_left
+        (fun acc p ->
+          if p.Placement.module_id = id then acc
+          else Float.max acc (Rect.y_max p.Placement.envelope))
+        0. pl.Placement.placed;
+  }
+
+(* The module that pins the chip height; ties broken toward the larger
+   envelope (moving it frees more skyline). *)
+let top_module pl =
+  List.fold_left
+    (fun acc p ->
+      match acc with
+      | None -> Some p
+      | Some q ->
+        let tp = Rect.y_max p.Placement.envelope
+        and tq = Rect.y_max q.Placement.envelope in
+        if
+          tp > tq +. Tol.eps
+          || (Tol.equal tp tq
+              && Rect.area p.Placement.envelope > Rect.area q.Placement.envelope)
+        then Some p
+        else acc)
+    None pl.Placement.placed
+
+let reinsert_once ~milp ~linearization ~allow_rotation nl pl =
+  match top_module pl with
+  | None -> None
+  | Some victim ->
+    let id = victim.Placement.module_id in
+    let rest = without pl id in
+    let w = pl.Placement.chip_width in
+    let sky = Skyline.of_rects ~width:w (Placement.envelopes rest) in
+    let cover = Covering.of_skyline sky in
+    let cover =
+      if List.length cover > 10 then Covering.coarsen ~max_count:10 cover
+      else cover
+    in
+    (* Coarsened covers may protrude above the module skyline; the warm
+       placement must clear the obstacles actually used. *)
+    let cover_sky =
+      List.fold_left Skyline.add_rect (Skyline.create ~width:w) cover
+    in
+    let item =
+      { Formulation.def = Netlist.module_at nl id;
+        margins = unrotated_margins victim }
+    in
+    let warm =
+      Warm_start.place_group ~skyline:cover_sky ~allow_rotation ~linearization
+        [| item |]
+    in
+    let warm_top = Rect.y_max warm.(0).Warm_start.envelope in
+    let height_bound =
+      Float.max pl.Placement.height
+        (Float.max warm_top (Skyline.max_height cover_sky))
+      +. 1.
+    in
+    match
+      Formulation.build ~chip_width:w ~height_bound ~allow_rotation
+        ~linearization ~fixed:cover [ item ]
+    with
+    | exception Invalid_argument _ -> None
+    | built ->
+      let warm_sol =
+        Formulation.assign_warm built
+          (fun _ -> warm.(0).Warm_start.envelope)
+          ~rotated:(fun _ -> warm.(0).Warm_start.rotated)
+      in
+      let outcome =
+        Branch_bound.solve ~params:milp ~warm:warm_sol built.Formulation.model
+      in
+      let sol =
+        match outcome.Branch_bound.best with
+        | Some (x, _) -> x
+        | None -> warm_sol
+      in
+      let envelope, silicon, rotated = (Formulation.extract built sol).(0) in
+      let candidate =
+        Placement.add rest
+          { Placement.module_id = id; rect = silicon; envelope; rotated }
+      in
+      let candidate = Compact.vertical candidate in
+      if
+        candidate.Placement.height < pl.Placement.height -. 1e-6
+        && Placement.valid candidate = Ok ()
+      then Some candidate
+      else None
+
+let reinsert_top ?(max_rounds = 12) ?(milp = default_milp)
+    ?(linearization = Formulation.Secant) ?(allow_rotation = true) nl pl =
+  let height_before = pl.Placement.height in
+  let rec go pl attempted improved =
+    if attempted >= max_rounds then (pl, attempted, improved)
+    else
+      match reinsert_once ~milp ~linearization ~allow_rotation nl pl with
+      | Some better -> go better (attempted + 1) (improved + 1)
+      | None -> (pl, attempted + 1, improved)
+  in
+  let final, attempted, improved = go pl 0 0 in
+  ( final,
+    {
+      rounds_attempted = attempted;
+      rounds_improved = improved;
+      height_before;
+      height_after = final.Placement.height;
+    } )

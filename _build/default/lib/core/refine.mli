@@ -1,0 +1,30 @@
+(** Iterative improvement by optimal re-insertion.
+
+    An extension of the paper's "adjust floorplan" step (Figure 3, step
+    13): repeatedly take the module that defines the chip height, remove
+    it, replace the remaining floorplan by its covering rectangles, and
+    re-insert the module at its {e optimal} position by solving the
+    resulting one-module MILP (tiny: a handful of integer variables after
+    geometric presolve).  Stops at the first round that fails to lower
+    the height.
+
+    This reuses exactly the machinery of one successive-augmentation step
+    with a group of size one, so it exercises the same formulation paths. *)
+
+type report = {
+  rounds_attempted : int;
+  rounds_improved : int;
+  height_before : float;
+  height_after : float;
+}
+
+val reinsert_top :
+  ?max_rounds:int ->
+  ?milp:Fp_milp.Branch_bound.params ->
+  ?linearization:Formulation.linearization ->
+  ?allow_rotation:bool ->
+  Fp_netlist.Netlist.t ->
+  Placement.t ->
+  Placement.t * report
+(** Improve a complete placement (default [max_rounds] 12).  The result
+    is always at least as good as the input and always valid. *)

@@ -1,0 +1,33 @@
+(** Bottom-left skyline placement used to seed the branch-and-bound.
+
+    Before each MILP subproblem is solved, the group of new items is
+    placed greedily on the current skyline (largest first, each at the
+    position minimizing the resulting top edge).  The resulting feasible
+    floorplan gives the branch-and-bound an incumbent from node one, so
+    big-M subtrees that cannot beat a {e reasonable} packing are pruned
+    immediately.  The paper leans on LINDO's internal heuristics for the
+    same effect; with our own solver we must bring the incumbent
+    ourselves. *)
+
+type choice = {
+  envelope : Fp_geometry.Rect.t;  (** placed envelope rectangle *)
+  rotated : bool;                 (** rigid item placed rotated *)
+}
+
+val place_group :
+  skyline:Fp_geometry.Skyline.t ->
+  allow_rotation:bool ->
+  linearization:Formulation.linearization ->
+  Formulation.item array ->
+  choice array
+(** Greedy placement of the items onto (a copy of) the skyline; result is
+    indexed like the input.  Rigid items try both orientations; flexible
+    items try the extreme and middle widths of their window.  The
+    returned envelopes never overlap each other or the region under the
+    input skyline.
+    @raise Invalid_argument if an item cannot fit the strip at all. *)
+
+val height_after :
+  skyline:Fp_geometry.Skyline.t -> choice array -> float
+(** Chip height of the skyline after stacking the given choices — the
+    warm start's objective value (sans wire term). *)

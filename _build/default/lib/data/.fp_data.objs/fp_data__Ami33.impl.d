@@ -1,0 +1,1 @@
+lib/data/ami33.ml: Fp_netlist Fp_util Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/data/ami33.mli: Fp_netlist

@@ -1,0 +1,1 @@
+lib/data/instances.ml: Ami33 Fp_netlist List Printf

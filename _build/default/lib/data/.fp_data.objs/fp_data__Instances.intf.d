@@ -1,0 +1,1 @@
+lib/data/instances.mli: Fp_netlist

@@ -1,0 +1,77 @@
+module Module_def = Fp_netlist.Module_def
+module Net = Fp_netlist.Net
+module Netlist = Fp_netlist.Netlist
+module Rng = Fp_util.Rng
+
+let total_module_area = 11520.
+let num_modules = 33
+let num_nets = 123
+
+(* 25 rigid modules; dimensions chosen so areas span an order of
+   magnitude and the grand total (with the flexible areas below) is
+   exactly 11520. *)
+let rigid_dims =
+  [
+    (38., 30.); (32., 28.); (30., 26.); (30., 24.); (28., 22.);
+    (26., 22.); (26., 20.); (24., 20.); (24., 18.); (22., 18.);
+    (21., 16.); (20., 16.); (18., 16.); (18., 15.); (16., 15.);
+    (16., 14.); (16., 12.); (15., 12.); (14., 12.); (12., 12.);
+    (12., 10.); (13., 14.); (12., 10.); (8., 8.); (14., 10.);
+  ]
+
+(* 8 flexible modules: fixed area, aspect window around square. *)
+let flex_areas = [ 352.; 320.; 288.; 256.; 224.; 200.; 180.; 160. ]
+
+let modules () =
+  let rigid =
+    List.mapi
+      (fun i (w, h) ->
+        Module_def.rigid ~id:i ~name:(Printf.sprintf "bk%02d" i) ~w ~h)
+      rigid_dims
+  in
+  let base = List.length rigid_dims in
+  let flexible =
+    List.mapi
+      (fun k area ->
+        let id = base + k in
+        Module_def.flexible ~id ~name:(Printf.sprintf "bk%02d" id) ~area
+          ~min_aspect:0.5 ~max_aspect:2.0)
+      flex_areas
+  in
+  rigid @ flexible
+
+(* Nets: deterministic draw (fixed seed) with id-locality, matching the
+   [Generator] recipe but pinned so the instance never changes. *)
+let nets () =
+  let rng = Rng.create 0x0a331988 in
+  let side () =
+    match Rng.int rng 4 with
+    | 0 -> Net.Left
+    | 1 -> Net.Right
+    | 2 -> Net.Bottom
+    | _ -> Net.Top
+  in
+  List.init num_nets (fun n ->
+      let degree = 2 + Rng.int rng 4 in
+      let anchor = Rng.int rng num_modules in
+      let window = 8 in
+      let members = Hashtbl.create degree in
+      Hashtbl.replace members anchor ();
+      let attempts = ref 0 in
+      while Hashtbl.length members < degree && !attempts < 50 do
+        incr attempts;
+        let off = Rng.int rng (2 * window) - window in
+        let m = (anchor + off + num_modules) mod num_modules in
+        Hashtbl.replace members m ()
+      done;
+      let pins =
+        Hashtbl.fold (fun m () acc -> m :: acc) members []
+        |> List.sort compare
+        |> List.map (fun m -> { Net.module_id = m; side = side () })
+      in
+      let criticality =
+        if Rng.float rng 1. < 0.1 then Rng.range rng ~lo:0.5 ~hi:1. else 0.
+      in
+      Net.make ~criticality ~name:(Printf.sprintf "n%03d" n) pins)
+
+let netlist () = Netlist.create ~name:"ami33" (modules ()) (nets ())

@@ -1,0 +1,31 @@
+(** Synthetic stand-in for the MCNC [ami33] benchmark.
+
+    The paper evaluates on [ami33] from the 1988 MCNC Workshop on
+    Physical Design (33 modules, total module area 11520 in the paper's
+    units, 123 nets).  The original MCNC file cannot be redistributed
+    here, so this is a deterministic synthetic instance engineered to
+    match the properties the experiments actually depend on:
+
+    - exactly 33 modules; total module area exactly 11520;
+    - 25 rigid modules (aspect ratios 0.6–1.4 at various sizes) and
+      8 flexible modules (aspect windows around square), mirroring the
+      mixed rigid/flexible usage of the paper's sections 2.3–2.4;
+    - 123 nets of 2–5 pins with id-locality, so connectivity-driven
+      linear ordering is materially better than random ordering;
+    - ~10 % of nets carry a timing criticality, so the router's
+      critical-first policy is exercised.
+
+    See DESIGN.md ("Substitutions") for the fidelity argument.  Absolute
+    areas are comparable to the paper's only in trend, not digit-for-digit. *)
+
+val netlist : unit -> Fp_netlist.Netlist.t
+(** Build the instance (fresh copy each call; cheap). *)
+
+val total_module_area : float
+(** 11520, the figure the paper quotes for ami33. *)
+
+val num_modules : int
+(** 33. *)
+
+val num_nets : int
+(** 123. *)

@@ -1,0 +1,25 @@
+module Generator = Fp_netlist.Generator
+
+let table1_sizes = [ 15; 20; 25; 33 ]
+
+let random_of k seed =
+  Generator.generate
+    {
+      Generator.default_config with
+      Generator.num_modules = k;
+      (* Keep per-module average area comparable to ami33's 11520/33. *)
+      total_area = 349. *. float_of_int k;
+      seed;
+    }
+
+let table1_instance = function
+  | 15 -> random_of 15 1015
+  | 20 -> random_of 20 1020
+  | 25 -> random_of 25 1025
+  | 33 -> Ami33.netlist ()
+  | k ->
+    invalid_arg
+      (Printf.sprintf "Instances.table1_instance: no Table-1 row with %d" k)
+
+let random_family ~sizes ~seed =
+  List.map (fun k -> random_of k (seed + k)) sizes

@@ -1,0 +1,19 @@
+(** The instance families the paper's experiments run on.
+
+    Table 1 uses "randomly generated" problems with 15, 20 and 25
+    modules plus ami33; these constructors pin down the exact instances
+    (seeds included) so every run of the benchmark harness sees the same
+    problems. *)
+
+val table1_sizes : int list
+(** [15; 20; 25; 33] — the "Modules" column of Table 1. *)
+
+val table1_instance : int -> Fp_netlist.Netlist.t
+(** [table1_instance k] is the instance used for the Table-1 row with
+    [k] modules: the fixed random instance for 15/20/25, the synthetic
+    ami33 for 33.  @raise Invalid_argument for any other size. *)
+
+val random_family :
+  sizes:int list -> seed:int -> Fp_netlist.Netlist.t list
+(** Arbitrary random families for scaling studies beyond the paper's
+    sizes (used by the ablation benches). *)

@@ -1,0 +1,1 @@
+lib/geometry/covering.ml: Array List Rect Skyline Tol

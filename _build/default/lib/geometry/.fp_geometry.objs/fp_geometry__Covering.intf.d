@@ -1,0 +1,1 @@
+lib/geometry/covering.mli: Rect Skyline

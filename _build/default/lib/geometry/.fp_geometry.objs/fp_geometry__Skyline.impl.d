@@ -1,0 +1,1 @@
+lib/geometry/skyline.ml: Float Format List Rect Tol

@@ -1,0 +1,1 @@
+lib/geometry/skyline.mli: Format Rect

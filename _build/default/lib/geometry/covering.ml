@@ -1,0 +1,72 @@
+(* The decomposition works on the skyline's segment array.  [carve base lo hi]
+   handles the sub-profile of segments with indices in [lo, hi): it cuts the
+   slab between [base] and the minimum height of the range (one horizontal
+   edge-cut), then recurses on each maximal run of segments strictly above
+   that minimum.  Every recursion level consumes at least one segment as a
+   separator, which is what bounds the rectangle count by the segment
+   count. *)
+
+let of_skyline sky =
+  let segs = Array.of_list (Skyline.segments sky) in
+  let rec carve base lo hi acc =
+    if lo >= hi then acc
+    else
+      let min_h = ref infinity in
+      for i = lo to hi - 1 do
+        if segs.(i).Skyline.h < !min_h then min_h := segs.(i).Skyline.h
+      done;
+      let min_h = !min_h in
+      let acc =
+        if Tol.lt base min_h then
+          Rect.make ~x:segs.(lo).Skyline.x0 ~y:base
+            ~w:(segs.(hi - 1).Skyline.x1 -. segs.(lo).Skyline.x0)
+            ~h:(min_h -. base)
+          :: acc
+        else acc
+      in
+      (* Recurse on maximal runs of segments strictly above [min_h]. *)
+      let rec runs i acc =
+        if i >= hi then acc
+        else if Tol.leq segs.(i).Skyline.h min_h then runs (i + 1) acc
+        else
+          let j = ref i in
+          while !j < hi && Tol.lt min_h segs.(!j).Skyline.h do incr j done;
+          runs !j (carve min_h i !j acc)
+      in
+      runs lo acc
+  in
+  List.rev (carve 0. 0 (Array.length segs) [])
+
+let of_rects ~width rects = of_skyline (Skyline.of_rects ~width rects)
+
+let coarsen ~max_count rects =
+  if max_count < 1 then invalid_arg "Covering.coarsen: max_count < 1";
+  let added_area a b =
+    Rect.area (Rect.hull a b) -. Rect.area a -. Rect.area b
+    +. Rect.overlap_area a b
+  in
+  let rec shrink rects =
+    let arr = Array.of_list rects in
+    let n = Array.length arr in
+    if n <= max_count then rects
+    else begin
+      let best = ref (0, 1) and best_cost = ref infinity in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let c = added_area arr.(i) arr.(j) in
+          if c < !best_cost then begin
+            best_cost := c;
+            best := (i, j)
+          end
+        done
+      done;
+      let i, j = !best in
+      let merged = Rect.hull arr.(i) arr.(j) in
+      let rest =
+        Array.to_list arr
+        |> List.filteri (fun k _ -> k <> i && k <> j)
+      in
+      shrink (merged :: rest)
+    end
+  in
+  shrink rects

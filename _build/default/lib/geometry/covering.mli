@@ -1,0 +1,38 @@
+(** Covering rectangles for a partial floorplan (paper section 3.1).
+
+    Replacing the [N] already-placed modules of a partial floorplan by a set
+    of [d <= N] covering rectangles is what keeps the number of integer
+    variables per augmentation step roughly constant.  The paper's
+    [PartitioningPolygon] procedure works bottom-up with horizontal
+    edge-cuts: cut off the rectangle between the chip bottom and the lowest
+    horizontal edge of the covering polygon, then recurse on what remains.
+
+    Theorem 1: the covering polygon of [N] stacked modules has
+    [n <= N + 1] horizontal edges.
+    Theorem 2: the procedure produces [N* <= n - 1] rectangles.
+    Corollary: [N* <= N].
+
+    We operate on the {!Skyline} of the partial floorplan, which is exactly
+    the hole-free covering polygon the paper constructs (holes at the bottom
+    are ignored). *)
+
+val of_skyline : Skyline.t -> Rect.t list
+(** Decompose the region under the skyline into non-overlapping covering
+    rectangles by recursive horizontal edge-cuts at the locally minimal
+    height.  Segments of height 0 contribute nothing.  The result satisfies
+    [List.length result <= number of skyline segments] and its union is the
+    region under the profile. *)
+
+val of_rects : width:float -> Rect.t list -> Rect.t list
+(** [of_rects ~width placed] is [of_skyline (Skyline.of_rects ~width placed)]
+    — the covering set for a list of placed modules. *)
+
+val coarsen : max_count:int -> Rect.t list -> Rect.t list
+(** Reduce a covering to at most [max_count] rectangles by greedily merging
+    the pair of x-adjacent rectangles whose merged bounding box adds the
+    least spurious area.  Merging only ever {e grows} the covered region, so
+    the result still covers the partial floorplan (it may forbid some
+    placements that were feasible, trading optimality for fewer integer
+    variables — the "overlapping partitions" refinement the paper mentions
+    trades in the same currency).
+    @raise Invalid_argument if [max_count < 1]. *)

@@ -1,0 +1,20 @@
+type t = { lo : float; hi : float }
+
+let make lo hi =
+  if Tol.lt hi lo then
+    invalid_arg (Printf.sprintf "Interval.make: hi (%g) < lo (%g)" hi lo);
+  { lo; hi = Float.max lo hi }
+
+let length t = t.hi -. t.lo
+let mid t = 0.5 *. (t.lo +. t.hi)
+let contains t x = Tol.leq t.lo x && Tol.leq x t.hi
+let overlaps a b = Tol.lt (Float.max a.lo b.lo) (Float.min a.hi b.hi)
+let touches a b = Tol.leq (Float.max a.lo b.lo) (Float.min a.hi b.hi)
+
+let intersect a b =
+  let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+  if Tol.lt lo hi then Some { lo; hi } else None
+
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+let equal a b = Tol.equal a.lo b.lo && Tol.equal a.hi b.hi
+let pp ppf t = Format.fprintf ppf "[%g, %g]" t.lo t.hi

@@ -1,0 +1,35 @@
+(** Closed 1-D intervals [\[lo, hi\]].
+
+    Intervals are the workhorse of the skyline and channel computations: a
+    rectangle is the product of an x-interval and a y-interval, and channel
+    spans are intervals along one axis. *)
+
+type t = private { lo : float; hi : float }
+
+val make : float -> float -> t
+(** [make lo hi] builds the interval [\[lo, hi\]].
+    @raise Invalid_argument if [hi < lo] beyond tolerance. *)
+
+val length : t -> float
+val mid : t -> float
+
+val contains : t -> float -> bool
+(** Membership up to {!Tol.eps}. *)
+
+val overlaps : t -> t -> bool
+(** [overlaps a b] is [true] when the intervals share a segment of positive
+    length (touching endpoints do {e not} count as overlap — abutting
+    modules do not conflict). *)
+
+val touches : t -> t -> bool
+(** [touches a b] is [true] when the intervals share at least one point,
+    including single endpoints. *)
+
+val intersect : t -> t -> t option
+(** Common sub-interval of positive length, if any. *)
+
+val hull : t -> t -> t
+(** Smallest interval containing both arguments. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

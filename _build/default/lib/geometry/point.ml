@@ -1,0 +1,15 @@
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+let origin = { x = 0.; y = 0. }
+let add p q = { x = p.x +. q.x; y = p.y +. q.y }
+let sub p q = { x = p.x -. q.x; y = p.y -. q.y }
+let scale k p = { x = k *. p.x; y = k *. p.y }
+let equal p q = Tol.equal p.x q.x && Tol.equal p.y q.y
+let manhattan p q = Float.abs (p.x -. q.x) +. Float.abs (p.y -. q.y)
+
+let euclidean p q =
+  let dx = p.x -. q.x and dy = p.y -. q.y in
+  Float.sqrt ((dx *. dx) +. (dy *. dy))
+
+let pp ppf p = Format.fprintf ppf "(%g, %g)" p.x p.y

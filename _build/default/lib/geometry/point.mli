@@ -1,0 +1,19 @@
+(** 2-D points with the usual vector operations. *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+val origin : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+
+val equal : t -> t -> bool
+(** Componentwise equality up to {!Tol.eps}. *)
+
+val manhattan : t -> t -> float
+(** [manhattan p q] is the L1 distance between [p] and [q] — the metric used
+    for all wirelength estimates in the floorplanner. *)
+
+val euclidean : t -> t -> float
+val pp : Format.formatter -> t -> unit

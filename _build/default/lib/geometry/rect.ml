@@ -1,0 +1,119 @@
+type t = { x : float; y : float; w : float; h : float }
+
+let make ~x ~y ~w ~h =
+  if w < -.Tol.eps || h < -.Tol.eps then
+    invalid_arg (Printf.sprintf "Rect.make: negative extent w=%g h=%g" w h);
+  { x; y; w = Float.max 0. w; h = Float.max 0. h }
+
+let of_corners (p : Point.t) (q : Point.t) =
+  let x = Float.min p.x q.x and y = Float.min p.y q.y in
+  make ~x ~y ~w:(Float.abs (p.x -. q.x)) ~h:(Float.abs (p.y -. q.y))
+
+let area t = t.w *. t.h
+let x_span t = Interval.make t.x (t.x +. t.w)
+let y_span t = Interval.make t.y (t.y +. t.h)
+let x_max t = t.x +. t.w
+let y_max t = t.y +. t.h
+let center t = Point.make (t.x +. (0.5 *. t.w)) (t.y +. (0.5 *. t.h))
+let lower_left t = Point.make t.x t.y
+let translate ~dx ~dy t = { t with x = t.x +. dx; y = t.y +. dy }
+let rotate90 t = { t with w = t.h; h = t.w }
+
+let inflate ~left ~right ~bottom ~top t =
+  let x = t.x -. left and y = t.y -. bottom in
+  let w = Float.max 0. (t.w +. left +. right)
+  and h = Float.max 0. (t.h +. bottom +. top) in
+  { x; y; w; h }
+
+let overlaps a b =
+  Interval.overlaps (x_span a) (x_span b)
+  && Interval.overlaps (y_span a) (y_span b)
+
+let overlap_area a b =
+  match
+    (Interval.intersect (x_span a) (x_span b),
+     Interval.intersect (y_span a) (y_span b))
+  with
+  | Some ix, Some iy -> Interval.length ix *. Interval.length iy
+  | _ -> 0.
+
+let contains_point t (p : Point.t) =
+  Interval.contains (x_span t) p.x && Interval.contains (y_span t) p.y
+
+let contains_rect ~outer ~inner =
+  Tol.leq outer.x inner.x
+  && Tol.leq outer.y inner.y
+  && Tol.leq (x_max inner) (x_max outer)
+  && Tol.leq (y_max inner) (y_max outer)
+
+let intersect a b =
+  match
+    (Interval.intersect (x_span a) (x_span b),
+     Interval.intersect (y_span a) (y_span b))
+  with
+  | Some ix, Some iy ->
+    Some
+      (make ~x:ix.Interval.lo ~y:iy.Interval.lo ~w:(Interval.length ix)
+         ~h:(Interval.length iy))
+  | _ -> None
+
+let hull a b =
+  let x = Float.min a.x b.x and y = Float.min a.y b.y in
+  let xh = Float.max (x_max a) (x_max b)
+  and yh = Float.max (y_max a) (y_max b) in
+  make ~x ~y ~w:(xh -. x) ~h:(yh -. y)
+
+let bounding_box = function
+  | [] -> None
+  | r :: rest -> Some (List.fold_left hull r rest)
+
+(* Union area by coordinate compression: collect all distinct x cuts, and
+   inside each vertical strip merge the y-intervals of the rectangles that
+   span it.  O(n^2 log n), fine for floorplans of a few hundred modules. *)
+let union_area rects =
+  let rects = List.filter (fun r -> r.w > Tol.eps && r.h > Tol.eps) rects in
+  match rects with
+  | [] -> 0.
+  | _ ->
+    let xs =
+      List.concat_map (fun r -> [ r.x; x_max r ]) rects
+      |> List.sort_uniq compare
+    in
+    let strip_area x0 x1 =
+      let spanning =
+        List.filter (fun r -> Tol.leq r.x x0 && Tol.leq x1 (x_max r)) rects
+      in
+      let ys =
+        List.map (fun r -> (r.y, y_max r)) spanning
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let rec merged total cur_lo cur_hi = function
+        | [] -> total +. (cur_hi -. cur_lo)
+        | (lo, hi) :: rest ->
+          if Tol.leq lo cur_hi then
+            merged total cur_lo (Float.max cur_hi hi) rest
+          else merged (total +. (cur_hi -. cur_lo)) lo hi rest
+      in
+      let covered =
+        match ys with [] -> 0. | (lo, hi) :: rest -> merged 0. lo hi rest
+      in
+      covered *. (x1 -. x0)
+    in
+    let rec sweep acc = function
+      | x0 :: (x1 :: _ as rest) -> sweep (acc +. strip_area x0 x1) rest
+      | [ _ ] | [] -> acc
+    in
+    sweep 0. xs
+
+let side_midpoint t = function
+  | `Left -> Point.make t.x (t.y +. (0.5 *. t.h))
+  | `Right -> Point.make (x_max t) (t.y +. (0.5 *. t.h))
+  | `Bottom -> Point.make (t.x +. (0.5 *. t.w)) t.y
+  | `Top -> Point.make (t.x +. (0.5 *. t.w)) (y_max t)
+
+let equal a b =
+  Tol.equal a.x b.x && Tol.equal a.y b.y && Tol.equal a.w b.w
+  && Tol.equal a.h b.h
+
+let pp ppf t = Format.fprintf ppf "{x=%g; y=%g; w=%g; h=%g}" t.x t.y t.w t.h
+let to_string t = Format.asprintf "%a" pp t

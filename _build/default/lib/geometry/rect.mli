@@ -1,0 +1,53 @@
+(** Axis-aligned rectangles, anchored at the lower-left corner.
+
+    The paper (section 2.2) describes a floorplan by the lower-left corner
+    [(x, y)] of each module in a coordinate system whose origin is the
+    lower-left corner of the chip; this module mirrors that convention. *)
+
+type t = { x : float; y : float; w : float; h : float }
+
+val make : x:float -> y:float -> w:float -> h:float -> t
+(** @raise Invalid_argument on negative width or height. *)
+
+val of_corners : Point.t -> Point.t -> t
+(** Rectangle spanned by two opposite corners (any orientation). *)
+
+val area : t -> float
+val x_span : t -> Interval.t
+val y_span : t -> Interval.t
+val x_max : t -> float
+val y_max : t -> float
+val center : t -> Point.t
+val lower_left : t -> Point.t
+
+val translate : dx:float -> dy:float -> t -> t
+
+val rotate90 : t -> t
+(** Swap width and height, keeping the lower-left corner fixed — the 90°
+    rotation the MILP model permits for rigid modules (paper eq. (4)). *)
+
+val inflate : left:float -> right:float -> bottom:float -> top:float -> t -> t
+(** Grow each side outward by the given non-negative amount; used to build
+    routing envelopes. Clamps so the result never has a negative extent. *)
+
+val overlaps : t -> t -> bool
+(** [true] when the interiors intersect (abutting rectangles do not
+    overlap). *)
+
+val overlap_area : t -> t -> float
+val contains_point : t -> Point.t -> bool
+val contains_rect : outer:t -> inner:t -> bool
+val intersect : t -> t -> t option
+val hull : t -> t -> t
+val bounding_box : t list -> t option
+val union_area : t list -> float
+(** Exact area of the union, computed by a coordinate-compression sweep;
+    used to validate coverings and to measure floorplan utilization. *)
+
+val side_midpoint : t -> [ `Left | `Right | `Bottom | `Top ] -> Point.t
+(** Midpoint of one side — the position of the paper's "generalized pin"
+    for that side (section 3.2). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

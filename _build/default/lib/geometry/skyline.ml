@@ -1,0 +1,93 @@
+type segment = { x0 : float; x1 : float; h : float }
+type t = { width : float; segs : segment list }
+
+let create ~width =
+  if width <= Tol.eps then invalid_arg "Skyline.create: width must be > 0";
+  { width; segs = [ { x0 = 0.; x1 = width; h = 0. } ] }
+
+let width t = t.width
+let segments t = t.segs
+
+(* Merge adjacent segments of equal height and drop empty ones. *)
+let normalize segs =
+  let rec go = function
+    | a :: b :: rest when Tol.equal a.h b.h ->
+      go ({ x0 = a.x0; x1 = b.x1; h = a.h } :: rest)
+    | a :: rest when Tol.equal a.x0 a.x1 -> go rest
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go segs
+
+let add_rect t (r : Rect.t) =
+  let rx0 = Tol.clamp ~lo:0. ~hi:t.width r.Rect.x
+  and rx1 = Tol.clamp ~lo:0. ~hi:t.width (Rect.x_max r) in
+  let top = Rect.y_max r in
+  if Tol.geq rx0 rx1 then t
+  else
+    let raise_seg s =
+      (* Portions of [s] outside [rx0, rx1] keep height [s.h]; the covered
+         portion is raised to [max s.h top]. *)
+      let lo = Float.max s.x0 rx0 and hi = Float.min s.x1 rx1 in
+      if Tol.geq lo hi then [ s ]
+      else
+        let mid = { x0 = lo; x1 = hi; h = Float.max s.h top } in
+        let before =
+          if Tol.lt s.x0 lo then [ { x0 = s.x0; x1 = lo; h = s.h } ] else []
+        and after =
+          if Tol.lt hi s.x1 then [ { x0 = hi; x1 = s.x1; h = s.h } ] else []
+        in
+        before @ [ mid ] @ after
+    in
+    { t with segs = normalize (List.concat_map raise_seg t.segs) }
+
+let of_rects ~width rects = List.fold_left add_rect (create ~width) rects
+
+let height_over t ~x0 ~x1 =
+  let lo = Float.max 0. x0 and hi = Float.min t.width x1 in
+  List.fold_left
+    (fun acc s ->
+      if Tol.lt (Float.max s.x0 lo) (Float.min s.x1 hi) then
+        Float.max acc s.h
+      else acc)
+    0. t.segs
+
+let max_height t = List.fold_left (fun acc s -> Float.max acc s.h) 0. t.segs
+
+let min_height t =
+  List.fold_left (fun acc s -> Float.min acc s.h) infinity t.segs
+
+let area_under t =
+  List.fold_left (fun acc s -> acc +. (s.h *. (s.x1 -. s.x0))) 0. t.segs
+
+let best_position t ~w =
+  if Tol.lt t.width w then None
+  else
+    let candidates =
+      List.concat_map (fun s -> [ s.x0; s.x1 -. w ]) t.segs
+      |> List.filter (fun x -> Tol.geq x 0. && Tol.leq (x +. w) t.width)
+      |> List.sort_uniq compare
+    in
+    let candidates = if candidates = [] then [ 0. ] else candidates in
+    let better (bx, by) x =
+      let y = height_over t ~x0:x ~x1:(x +. w) in
+      if Tol.lt y by || (Tol.equal y by && Tol.lt x bx) then (x, y)
+      else (bx, by)
+    in
+    Some (List.fold_left better (infinity, infinity) candidates)
+
+let equal a b =
+  Tol.equal a.width b.width
+  && List.length a.segs = List.length b.segs
+  && List.for_all2
+       (fun s1 s2 ->
+         Tol.equal s1.x0 s2.x0 && Tol.equal s1.x1 s2.x1
+         && Tol.equal s1.h s2.h)
+       a.segs b.segs
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>skyline(w=%g):" t.width;
+  List.iter
+    (fun s -> Format.fprintf ppf " [%g,%g)@%g" s.x0 s.x1 s.h)
+    t.segs;
+  Format.fprintf ppf "@]"

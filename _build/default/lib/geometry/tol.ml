@@ -1,0 +1,7 @@
+let eps = 1e-6
+let equal a b = Float.abs (a -. b) <= eps
+let leq a b = a <= b +. eps
+let lt a b = a < b -. eps
+let geq a b = leq b a
+let is_zero a = equal a 0.
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x

@@ -1,0 +1,26 @@
+(** Floating-point tolerance used throughout the geometric layer.
+
+    All module dimensions in the bundled instances are small integers stored
+    as floats, so a fixed absolute tolerance is adequate; no geometric
+    predicate in this library needs exact arithmetic. *)
+
+val eps : float
+(** Absolute tolerance for coordinate comparisons (1e-6). *)
+
+val equal : float -> float -> bool
+(** [equal a b] is [true] when [a] and [b] differ by at most {!eps}. *)
+
+val leq : float -> float -> bool
+(** [leq a b] is [a <= b + eps]. *)
+
+val lt : float -> float -> bool
+(** [lt a b] is [a < b - eps] (strictly less, beyond tolerance). *)
+
+val geq : float -> float -> bool
+(** [geq a b] is [leq b a]. *)
+
+val is_zero : float -> bool
+(** [is_zero a] is [equal a 0.]. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] restricts [x] to the interval [[lo, hi]]. *)

@@ -1,0 +1,1 @@
+lib/lp/lp_io.ml: Array Buffer Float Fun List Lp_problem Printf String

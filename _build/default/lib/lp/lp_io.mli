@@ -1,0 +1,16 @@
+(** CPLEX-LP-format export of {!Lp_problem} models.
+
+    The floorplanner never parses this format back; it exists so a model
+    that misbehaves can be dumped and inspected (or fed to an external
+    solver on a machine that has one) — the moral equivalent of the LINDO
+    model files the original FORTRAN driver produced. *)
+
+val to_lp_format : Lp_problem.t -> string
+(** Render the model.  Variable and constraint names are sanitized to the
+    LP-format character set; bounds sections include free and fixed
+    variables. *)
+
+val output : out_channel -> Lp_problem.t -> unit
+
+val save : string -> Lp_problem.t -> unit
+(** [save path prob] writes the model to [path]. *)

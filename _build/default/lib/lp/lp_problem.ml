@@ -1,0 +1,140 @@
+type var = int
+type sense = Minimize | Maximize
+type cmp = Le | Ge | Eq
+type term = float * var
+
+type constr = {
+  cname : string;
+  terms : term list;
+  cmp : cmp;
+  rhs : float;
+}
+
+type vinfo = {
+  vname : string;
+  mutable lb : float;
+  mutable ub : float;
+  mutable obj : float;
+}
+
+type t = {
+  pname : string;
+  mutable vars : vinfo array;
+  mutable nvars : int;
+  mutable rows : constr array;
+  mutable nrows : int;
+  mutable psense : sense;
+}
+
+let create ?(name = "lp") () =
+  { pname = name; vars = [||]; nvars = 0; rows = [||]; nrows = 0;
+    psense = Minimize }
+
+let name t = t.pname
+
+let grow_vars t =
+  let cap = Array.length t.vars in
+  if t.nvars >= cap then begin
+    let bigger =
+      Array.make (Int.max 8 (2 * cap))
+        { vname = ""; lb = 0.; ub = 0.; obj = 0. }
+    in
+    Array.blit t.vars 0 bigger 0 t.nvars;
+    t.vars <- bigger
+  end
+
+let grow_rows t =
+  let cap = Array.length t.rows in
+  if t.nrows >= cap then begin
+    let bigger =
+      Array.make (Int.max 8 (2 * cap))
+        { cname = ""; terms = []; cmp = Le; rhs = 0. }
+    in
+    Array.blit t.rows 0 bigger 0 t.nrows;
+    t.rows <- bigger
+  end
+
+let add_var t ?(lb = 0.) ?(ub = infinity) ?(obj = 0.) vname =
+  if ub < lb then
+    invalid_arg
+      (Printf.sprintf "Lp_problem.add_var %s: ub (%g) < lb (%g)" vname ub lb);
+  grow_vars t;
+  t.vars.(t.nvars) <- { vname; lb; ub; obj };
+  t.nvars <- t.nvars + 1;
+  t.nvars - 1
+
+let check_var t v fn =
+  if v < 0 || v >= t.nvars then
+    invalid_arg (Printf.sprintf "Lp_problem.%s: unknown variable %d" fn v)
+
+(* Sum duplicate variable mentions so downstream consumers see each column
+   at most once per row. *)
+let collapse_terms terms =
+  let tbl = Hashtbl.create (List.length terms) in
+  let order = ref [] in
+  List.iter
+    (fun (c, v) ->
+      match Hashtbl.find_opt tbl v with
+      | Some acc -> Hashtbl.replace tbl v (acc +. c)
+      | None ->
+        Hashtbl.add tbl v c;
+        order := v :: !order)
+    terms;
+  List.rev_map (fun v -> (Hashtbl.find tbl v, v)) !order
+
+let add_constr t ?name terms cmp rhs =
+  List.iter (fun (_, v) -> check_var t v "add_constr") terms;
+  grow_rows t;
+  let cname =
+    match name with Some n -> n | None -> Printf.sprintf "c%d" t.nrows
+  in
+  t.rows.(t.nrows) <- { cname; terms = collapse_terms terms; cmp; rhs };
+  t.nrows <- t.nrows + 1
+
+let set_obj_coeff t v c =
+  check_var t v "set_obj_coeff";
+  t.vars.(v).obj <- c
+
+let set_sense t s = t.psense <- s
+
+let set_bounds t v ~lb ~ub =
+  check_var t v "set_bounds";
+  if ub < lb then
+    invalid_arg
+      (Printf.sprintf "Lp_problem.set_bounds %d: ub (%g) < lb (%g)" v ub lb);
+  t.vars.(v).lb <- lb;
+  t.vars.(v).ub <- ub
+
+let num_vars t = t.nvars
+let num_constrs t = t.nrows
+
+let var_name t v = check_var t v "var_name"; t.vars.(v).vname
+let var_lb t v = check_var t v "var_lb"; t.vars.(v).lb
+let var_ub t v = check_var t v "var_ub"; t.vars.(v).ub
+let obj_coeff t v = check_var t v "obj_coeff"; t.vars.(v).obj
+let sense t = t.psense
+let constraints t = Array.sub t.rows 0 t.nrows
+
+let objective_value t x =
+  let acc = ref 0. in
+  for v = 0 to t.nvars - 1 do
+    acc := !acc +. (t.vars.(v).obj *. x.(v))
+  done;
+  !acc
+
+let constraint_violation t x =
+  let worst = ref 0. in
+  let note v = if v > !worst then worst := v in
+  for v = 0 to t.nvars - 1 do
+    note (t.vars.(v).lb -. x.(v));
+    note (x.(v) -. t.vars.(v).ub)
+  done;
+  for i = 0 to t.nrows - 1 do
+    let row = t.rows.(i) in
+    let lhs = List.fold_left (fun a (c, v) -> a +. (c *. x.(v))) 0. row.terms in
+    match row.cmp with
+    | Le -> note (lhs -. row.rhs)
+    | Ge -> note (row.rhs -. lhs)
+    | Eq -> note (Float.abs (lhs -. row.rhs))
+  done;
+  !worst

@@ -1,0 +1,66 @@
+(** Linear-program model builder.
+
+    A thin, mutable builder for LPs of the shape
+
+    {v min / max  c.x   s.t.   lb_i <= row_i . x  (cmp)  rhs_i,
+                               lo_j <= x_j <= up_j v}
+
+    Variables are identified by the integer handle returned from
+    {!add_var}; handles are dense and index directly into the solution
+    vector.  The builder is consumed by {!Simplex.solve} and written out by
+    {!Lp_io.to_lp_format}. *)
+
+type var = int
+
+type sense = Minimize | Maximize
+
+type cmp = Le | Ge | Eq
+
+type term = float * var
+(** A single [coefficient * variable] product. *)
+
+type constr = {
+  cname : string;
+  terms : term list;
+  cmp : cmp;
+  rhs : float;
+}
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+
+val add_var :
+  t -> ?lb:float -> ?ub:float -> ?obj:float -> string -> var
+(** [add_var t name] registers a variable and returns its handle.
+    Default bounds are [0, +inf); [obj] is the objective coefficient
+    (default [0.]).  [lb] may be [neg_infinity] and [ub] [infinity]. *)
+
+val add_constr : t -> ?name:string -> term list -> cmp -> float -> unit
+(** Append the constraint [terms cmp rhs].  Terms mentioning the same
+    variable repeatedly are summed.  @raise Invalid_argument on an unknown
+    variable handle. *)
+
+val set_obj_coeff : t -> var -> float -> unit
+val set_sense : t -> sense -> unit
+val set_bounds : t -> var -> lb:float -> ub:float -> unit
+
+val num_vars : t -> int
+val num_constrs : t -> int
+
+val var_name : t -> var -> string
+val var_lb : t -> var -> float
+val var_ub : t -> var -> float
+val obj_coeff : t -> var -> float
+val sense : t -> sense
+val constraints : t -> constr array
+(** Snapshot of the current rows, in insertion order. *)
+
+val objective_value : t -> float array -> float
+(** Evaluate the objective at a point (no feasibility check). *)
+
+val constraint_violation : t -> float array -> float
+(** Maximum violation of any row or bound at a point; [0.] when feasible.
+    Used by tests and by the MILP layer to sanity-check solutions. *)

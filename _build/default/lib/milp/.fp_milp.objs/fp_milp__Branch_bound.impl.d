@@ -1,0 +1,1 @@
+lib/milp/branch_bound.ml: Array Float Fp_lp Fun Hashtbl List Logs Model Option Unix

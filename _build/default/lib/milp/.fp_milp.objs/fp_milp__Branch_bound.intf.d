@@ -1,0 +1,1 @@
+lib/milp/branch_bound.mli: Model

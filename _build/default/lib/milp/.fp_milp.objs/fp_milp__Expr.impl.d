@@ -1,0 +1,1 @@
+lib/milp/expr.ml: Array Float Format Fp_lp Hashtbl List

@@ -1,0 +1,1 @@
+lib/milp/expr.mli: Format Fp_lp

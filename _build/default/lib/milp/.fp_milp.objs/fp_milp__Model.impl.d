@@ -1,0 +1,1 @@
+lib/milp/model.ml: Array Expr Float Fp_lp Hashtbl List

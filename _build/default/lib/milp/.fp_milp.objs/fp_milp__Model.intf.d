@@ -1,0 +1,1 @@
+lib/milp/model.mli: Expr Fp_lp

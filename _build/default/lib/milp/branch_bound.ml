@@ -1,0 +1,252 @@
+module Lp_problem = Fp_lp.Lp_problem
+module Simplex = Fp_lp.Simplex
+
+let src = Logs.Src.create "fp.milp" ~doc:"branch-and-bound"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type branch_rule = Most_fractional | First_fractional
+
+type params = {
+  node_limit : int;
+  time_limit : float;
+  int_tol : float;
+  min_improvement : float;
+  log : bool;
+  branch_rule : branch_rule;
+}
+
+let default_params =
+  {
+    node_limit = 200_000;
+    time_limit = 120.;
+    int_tol = 1e-6;
+    min_improvement = 1e-7;
+    log = false;
+    branch_rule = Most_fractional;
+  }
+
+type status = Optimal | Feasible | Infeasible | Unbounded | No_solution
+
+type outcome = {
+  status : status;
+  best : (float array * float) option;
+  nodes : int;
+  lp_solves : int;
+  root_bound : float;
+  elapsed : float;
+}
+
+type search = {
+  model : Model.t;
+  prob : Lp_problem.t;
+  prm : params;
+  sense_mult : float;           (* +1 minimize, -1 maximize *)
+  partner : (int, int) Hashtbl.t; (* pair membership, symmetric *)
+  deadline : float;
+  mutable nodes : int;
+  mutable lp_solves : int;
+  mutable best_m : float;       (* incumbent objective, minimized form *)
+  mutable best_x : float array option;
+  mutable out_of_budget : bool;
+  mutable root_unbounded : bool;
+}
+
+let fractionality x v =
+  let f = x.(v) -. Float.round x.(v) in
+  Float.abs f
+
+(* Branch variable per the configured rule, or None when integral. *)
+let pick_branch_var s x =
+  match s.prm.branch_rule with
+  | Most_fractional ->
+    let best = ref (-1) and best_f = ref s.prm.int_tol in
+    List.iter
+      (fun v ->
+        let f = fractionality x v in
+        if f > !best_f then begin
+          best_f := f;
+          best := v
+        end)
+      (Model.integer_vars s.model);
+    if !best < 0 then None else Some !best
+  | First_fractional ->
+    List.find_opt
+      (fun v -> fractionality x v > s.prm.int_tol)
+      (Model.integer_vars s.model)
+
+let update_incumbent s x m =
+  if m < s.best_m -. s.prm.min_improvement then begin
+    s.best_m <- m;
+    s.best_x <- Some (Array.copy x);
+    if s.prm.log then
+      Log.info (fun f ->
+          f "incumbent %.6g after %d nodes" (s.sense_mult *. m) s.nodes)
+  end
+
+(* Explore under temporarily tightened bounds; always restores. *)
+let with_bounds s settings k =
+  let saved =
+    List.map
+      (fun (v, _, _) -> (v, Lp_problem.var_lb s.prob v, Lp_problem.var_ub s.prob v))
+      settings
+  in
+  List.iter (fun (v, lb, ub) -> Lp_problem.set_bounds s.prob v ~lb ~ub) settings;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (v, lb, ub) -> Lp_problem.set_bounds s.prob v ~lb ~ub)
+        saved)
+    k
+
+let budget_exhausted s =
+  s.nodes >= s.prm.node_limit || Unix.gettimeofday () > s.deadline
+
+let rec explore s ~depth =
+  if budget_exhausted s then s.out_of_budget <- true
+  else begin
+    s.nodes <- s.nodes + 1;
+    s.lp_solves <- s.lp_solves + 1;
+    match Simplex.solve s.prob with
+    | Simplex.Infeasible -> ()
+    | Simplex.Iteration_limit ->
+      (* No trustworthy bound: conservative choice is to abandon the
+         subtree; log loudly since it may cost optimality. *)
+      Log.warn (fun f -> f "LP iteration limit at depth %d; subtree dropped" depth)
+    | Simplex.Unbounded ->
+      if depth = 0 then s.root_unbounded <- true
+      (* Deeper nodes are restrictions of the root; if the root was
+         bounded this cannot happen. *)
+    | Simplex.Optimal { x; obj } ->
+      let m = s.sense_mult *. (obj +. Model.objective_constant s.model) in
+      if m >= s.best_m -. s.prm.min_improvement then () (* bound prune *)
+      else begin
+        match pick_branch_var s x with
+        | None ->
+          (* Integral (within tolerance): snap and accept. *)
+          let snapped = Model.round_integers s.model x in
+          let m_exact =
+            s.sense_mult
+            *. (Lp_problem.objective_value s.prob snapped
+               +. Model.objective_constant s.model)
+          in
+          (* Rounding can only move the objective through integer terms;
+             re-check feasibility to be safe. *)
+          if Lp_problem.constraint_violation s.prob snapped <= 1e-5 then
+            update_incumbent s snapped m_exact
+          else update_incumbent s x m
+        | Some v -> branch s ~depth x v
+      end
+  end
+
+and branch s ~depth x v =
+  match Hashtbl.find_opt s.partner v with
+  | Some w when fractionality x v > s.prm.int_tol
+             || fractionality x w > s.prm.int_tol ->
+    (* 4-way branching on the disjunction pair (v, w): each child fixes a
+       combination, visiting the combination closest to the LP point
+       first. *)
+    let combos = [ (0., 0.); (0., 1.); (1., 0.); (1., 1.) ] in
+    let dist (a, b) = Float.abs (x.(v) -. a) +. Float.abs (x.(w) -. b) in
+    let ordered =
+      List.sort (fun c1 c2 -> compare (dist c1) (dist c2)) combos
+    in
+    List.iter
+      (fun (a, b) ->
+        if not s.out_of_budget then
+          with_bounds s
+            [ (v, a, a); (w, b, b) ]
+            (fun () -> explore s ~depth:(depth + 1)))
+      ordered
+  | _ ->
+    (* Plain floor/ceil split, nearest side first. *)
+    let lo = Float.floor x.(v) and hi = Float.ceil x.(v) in
+    let lb = Lp_problem.var_lb s.prob v and ub = Lp_problem.var_ub s.prob v in
+    let down () =
+      if lo >= lb -. 1e-9 && not s.out_of_budget then
+        with_bounds s [ (v, lb, lo) ] (fun () -> explore s ~depth:(depth + 1))
+    and up () =
+      if hi <= ub +. 1e-9 && not s.out_of_budget then
+        with_bounds s [ (v, hi, ub) ] (fun () -> explore s ~depth:(depth + 1))
+    in
+    if x.(v) -. lo <= hi -. x.(v) then begin
+      down ();
+      up ()
+    end
+    else begin
+      up ();
+      down ()
+    end
+
+let solve ?(params = default_params) ?warm model =
+  let prob = Model.problem model in
+  let sense_mult =
+    match Lp_problem.sense prob with
+    | Lp_problem.Minimize -> 1.
+    | Lp_problem.Maximize -> -1.
+  in
+  let partner = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace partner a b;
+      Hashtbl.replace partner b a)
+    (Model.pairs model);
+  let start = Unix.gettimeofday () in
+  let s =
+    {
+      model; prob; prm = params; sense_mult; partner;
+      deadline = start +. params.time_limit;
+      nodes = 0; lp_solves = 0;
+      best_m = infinity; best_x = None;
+      out_of_budget = false; root_unbounded = false;
+    }
+  in
+  (* Install the warm start if it checks out. *)
+  (match warm with
+  | Some x
+    when Array.length x = Model.num_vars model
+         && Model.integral ~tol:params.int_tol model x
+         && Lp_problem.constraint_violation prob x <= 1e-5 ->
+    let m =
+      sense_mult
+      *. (Lp_problem.objective_value prob x +. Model.objective_constant model)
+    in
+    s.best_m <- m;
+    s.best_x <- Some (Array.copy x)
+  | Some _ ->
+    Log.warn (fun f -> f "warm start rejected (infeasible or non-integral)")
+  | None -> ());
+  (* Root LP once, for the reported bound. *)
+  let root_bound =
+    s.lp_solves <- s.lp_solves + 1;
+    match Simplex.solve prob with
+    | Simplex.Optimal { obj; _ } ->
+      (sense_mult *. obj) +. (sense_mult *. Model.objective_constant model)
+    | Simplex.Unbounded | Simplex.Iteration_limit -> neg_infinity
+    | Simplex.Infeasible -> infinity
+  in
+  if root_bound = infinity && s.best_x = None then
+    {
+      status = Infeasible; best = None; nodes = 0; lp_solves = s.lp_solves;
+      root_bound = nan; elapsed = Unix.gettimeofday () -. start;
+    }
+  else begin
+    explore s ~depth:0;
+    let elapsed = Unix.gettimeofday () -. start in
+    let best =
+      Option.map (fun x -> (x, s.sense_mult *. s.best_m)) s.best_x
+    in
+    let status =
+      if s.root_unbounded then Unbounded
+      else
+        match (best, s.out_of_budget) with
+        | Some _, false -> Optimal
+        | Some _, true -> Feasible
+        | None, false -> Infeasible
+        | None, true -> No_solution
+    in
+    {
+      status; best; nodes = s.nodes; lp_solves = s.lp_solves;
+      root_bound = sense_mult *. root_bound; elapsed;
+    }
+  end

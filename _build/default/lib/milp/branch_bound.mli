@@ -1,0 +1,65 @@
+(** Branch-and-bound solver for 0–1 mixed integer linear programs.
+
+    This plays the role LINDO plays in the paper (section 3): an exact
+    solver for the small MILP subproblems produced by successive
+    augmentation.  Depth-first search over LP relaxations solved by
+    {!Fp_lp.Simplex}, with
+
+    - 4-way branching on declared disjunction pairs (the paper's
+      [(x_ij, y_ij)] "which side is module i on" variables), children
+      ordered by proximity to the LP relaxation point;
+    - floor/ceil branching on remaining fractional integers, nearest side
+      first;
+    - warm starting from a caller-supplied feasible point (the floorplan
+      layer seeds it with a bottom-left skyline placement), so pruning is
+      effective from the first node;
+    - node- and time-budgets: when exhausted the best incumbent is
+      returned with status [Feasible], mirroring how LINDO was used on a
+      4-MIPS Apollo workstation.
+
+    The search is deterministic given the model and parameters. *)
+
+type branch_rule =
+  | Most_fractional
+      (** branch on the integer variable farthest from integrality *)
+  | First_fractional
+      (** branch on the first fractional integer variable in declaration
+          order — lets the modeler encode "decide the big modules first"
+          by declaration order *)
+
+type params = {
+  node_limit : int;        (** maximum branch-and-bound nodes (default 200_000) *)
+  time_limit : float;      (** seconds (default 120.) *)
+  int_tol : float;         (** integrality tolerance (default 1e-6) *)
+  min_improvement : float; (** required objective improvement before a node
+                               survives pruning; raising it trades quality
+                               for speed (default 1e-7) *)
+  log : bool;              (** emit progress on [Logs] (default false) *)
+  branch_rule : branch_rule;  (** default [Most_fractional] *)
+}
+
+val default_params : params
+
+type status =
+  | Optimal       (** search completed; incumbent is proven optimal *)
+  | Feasible      (** budget exhausted; best incumbent returned *)
+  | Infeasible    (** no integer-feasible point exists *)
+  | Unbounded     (** LP relaxation unbounded at the root *)
+  | No_solution   (** budget exhausted before any incumbent was found *)
+
+type outcome = {
+  status : status;
+  best : (float array * float) option;
+      (** incumbent point and objective (original sense, constant
+          included) *)
+  nodes : int;
+  lp_solves : int;
+  root_bound : float;
+      (** LP-relaxation bound at the root, original sense *)
+  elapsed : float;
+}
+
+val solve : ?params:params -> ?warm:float array -> Model.t -> outcome
+(** [solve model] runs the search.  [warm], when given, must be feasible
+    and integral (checked; silently ignored otherwise — a bad warm start
+    must never corrupt the search). *)

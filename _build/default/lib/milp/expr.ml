@@ -1,0 +1,52 @@
+module Lp_problem = Fp_lp.Lp_problem
+
+type t = { terms : (float * Lp_problem.var) list; k : float }
+
+let zero = { terms = []; k = 0. }
+let const k = { terms = []; k }
+let var ?(coeff = 1.) v = { terms = [ (coeff, v) ]; k = 0. }
+let ( + ) a b = { terms = a.terms @ b.terms; k = a.k +. b.k }
+
+let ( * ) c e =
+  { terms = List.map (fun (f, v) -> (c *. f, v)) e.terms; k = c *. e.k }
+
+let neg e = -1. * e
+let ( - ) a b = a + neg b
+let sum es = List.fold_left ( + ) zero es
+
+let terms e =
+  let tbl = Hashtbl.create 16 and order = ref [] in
+  List.iter
+    (fun (c, v) ->
+      match Hashtbl.find_opt tbl v with
+      | Some acc -> Hashtbl.replace tbl v (acc +. c)
+      | None ->
+        Hashtbl.add tbl v c;
+        order := v :: !order)
+    e.terms;
+  List.rev !order
+  |> List.filter_map (fun v ->
+         let c = Hashtbl.find tbl v in
+         if c = 0. then None else Some (c, v))
+
+let constant e = e.k
+
+let eval e x =
+  List.fold_left (fun acc (c, v) -> acc +. (c *. x.(v))) e.k e.terms
+
+let pp ~names ppf e =
+  let ts = terms e in
+  if ts = [] && e.k = 0. then Format.pp_print_string ppf "0"
+  else begin
+    List.iteri
+      (fun i (c, v) ->
+        if i > 0 || c < 0. then
+          Format.fprintf ppf " %s " (if c < 0. then "-" else "+");
+        let mag = Float.abs c in
+        if mag <> 1. then Format.fprintf ppf "%g " mag;
+        Format.pp_print_string ppf (names v))
+      ts;
+    if e.k <> 0. then
+      Format.fprintf ppf " %s %g" (if e.k < 0. then "-" else "+")
+        (Float.abs e.k)
+  end

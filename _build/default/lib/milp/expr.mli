@@ -1,0 +1,31 @@
+(** Affine expressions over LP variables.
+
+    A small DSL so the floorplanning formulation reads like the paper's
+    equations: [Expr.(var xi + c wi <= var xj + bigm * bin xij)] instead of
+    hand-assembled coefficient lists.  An expression is a linear combination
+    plus a constant; constraints move the constant to the right-hand side
+    automatically. *)
+
+type t
+
+val zero : t
+val const : float -> t
+val var : ?coeff:float -> Fp_lp.Lp_problem.var -> t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : float -> t -> t
+(** Scale by a constant (written [c * e]). *)
+
+val neg : t -> t
+val sum : t list -> t
+
+val terms : t -> (float * Fp_lp.Lp_problem.var) list
+(** Variable terms with duplicates merged; zero coefficients dropped. *)
+
+val constant : t -> float
+
+val eval : t -> float array -> float
+(** Value of the expression at a point indexed by variable handle. *)
+
+val pp : names:(Fp_lp.Lp_problem.var -> string) -> Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/netlist/generator.ml: Array Float Fp_util Hashtbl Int List Module_def Net Netlist Printf

@@ -1,0 +1,1 @@
+lib/netlist/module_def.ml: Float Format Printf

@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Format List Module_def Net Printf String

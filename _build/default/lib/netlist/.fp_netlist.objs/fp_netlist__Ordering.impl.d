@@ -1,0 +1,1 @@
+lib/netlist/ordering.ml: Array Fp_util Hashtbl List Module_def Netlist

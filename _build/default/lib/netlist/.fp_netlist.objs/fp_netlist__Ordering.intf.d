@@ -1,0 +1,1 @@
+lib/netlist/ordering.mli: Netlist

@@ -1,0 +1,1 @@
+lib/netlist/parser.ml: Array Buffer Hashtbl In_channel List Module_def Net Netlist Out_channel Printf Result String

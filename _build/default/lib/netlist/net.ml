@@ -1,0 +1,41 @@
+type side = Left | Right | Bottom | Top
+type pin = { module_id : int; side : side }
+type t = { name : string; pins : pin list; criticality : float }
+
+let make ?(criticality = 0.) ~name pins =
+  if List.length pins < 2 then
+    invalid_arg (Printf.sprintf "Net.make %s: needs at least two pins" name);
+  if criticality < 0. || criticality > 1. then
+    invalid_arg
+      (Printf.sprintf "Net.make %s: criticality %g outside [0,1]" name
+         criticality);
+  { name; pins; criticality }
+
+let modules t =
+  List.map (fun p -> p.module_id) t.pins |> List.sort_uniq compare
+
+let degree t = List.length t.pins
+
+let side_to_string = function
+  | Left -> "L"
+  | Right -> "R"
+  | Bottom -> "B"
+  | Top -> "T"
+
+let side_of_string = function
+  | "L" | "l" | "left" -> Some Left
+  | "R" | "r" | "right" -> Some Right
+  | "B" | "b" | "bottom" -> Some Bottom
+  | "T" | "t" | "top" -> Some Top
+  | _ -> None
+
+let all_sides = [ Left; Right; Bottom; Top ]
+
+let pp ppf t =
+  Format.fprintf ppf "%s(" t.name;
+  List.iteri
+    (fun i p ->
+      if i > 0 then Format.pp_print_string ppf " ";
+      Format.fprintf ppf "%d:%s" p.module_id (side_to_string p.side))
+    t.pins;
+  Format.fprintf ppf ")"

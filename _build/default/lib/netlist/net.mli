@@ -1,0 +1,35 @@
+(** Nets and pins.
+
+    The paper assumes "the preliminary assignment of pins to sides of the
+    modules is known (but without identifying exact locations of pins)"
+    (section 3.2), so a pin is a module plus a side; the router models it
+    as one {e generalized pin} at the midpoint of that side. *)
+
+type side = Left | Right | Bottom | Top
+
+type pin = { module_id : int; side : side }
+
+type t = {
+  name : string;
+  pins : pin list;
+  criticality : float;
+      (** Timing weight in [\[0, 1\]]; nets with higher criticality are
+          routed first (the paper routes "nets with tight timing
+          requirements" first, citing YOU89).  [0.] means no timing
+          constraint. *)
+}
+
+val make : ?criticality:float -> name:string -> pin list -> t
+(** @raise Invalid_argument when fewer than two pins are given or the
+    criticality is outside [\[0, 1\]]. *)
+
+val modules : t -> int list
+(** Distinct module ids on the net, ascending. *)
+
+val degree : t -> int
+(** Number of pins. *)
+
+val side_to_string : side -> string
+val side_of_string : string -> side option
+val all_sides : side list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,128 @@
+type t = {
+  nname : string;
+  mods : Module_def.t array;
+  netl : Net.t list;
+  conn : int array array;  (* K x K symmetric, zero diagonal *)
+}
+
+let build_connectivity k netl =
+  let conn = Array.make_matrix k k 0 in
+  List.iter
+    (fun net ->
+      let ms = Net.modules net in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun j ->
+              if i <> j then conn.(i).(j) <- conn.(i).(j) + 1)
+            ms)
+        ms)
+    netl;
+  conn
+
+let create ~name mods netl =
+  let mods = Array.of_list mods in
+  let k = Array.length mods in
+  Array.iteri
+    (fun i m ->
+      if m.Module_def.id <> i then
+        invalid_arg
+          (Printf.sprintf "Netlist.create: module %s has id %d, expected %d"
+             m.Module_def.name m.Module_def.id i))
+    mods;
+  List.iter
+    (fun net ->
+      List.iter
+        (fun p ->
+          let id = p.Net.module_id in
+          if id < 0 || id >= k then
+            invalid_arg
+              (Printf.sprintf "Netlist.create: net %s references module %d"
+                 net.Net.name id))
+        net.Net.pins)
+    netl;
+  { nname = name; mods; netl; conn = build_connectivity k netl }
+
+let name t = t.nname
+let num_modules t = Array.length t.mods
+let modules t = t.mods
+
+let module_at t i =
+  if i < 0 || i >= Array.length t.mods then
+    invalid_arg (Printf.sprintf "Netlist.module_at: %d" i);
+  t.mods.(i)
+
+let nets t = t.netl
+let num_nets t = List.length t.netl
+
+let total_area t =
+  Array.fold_left (fun a m -> a +. Module_def.area m) 0. t.mods
+
+let connectivity t i j = t.conn.(i).(j)
+
+let connectivity_to_set t set i =
+  List.fold_left (fun a j -> a + t.conn.(i).(j)) 0 set
+
+let module_degree t i = Array.fold_left ( + ) 0 t.conn.(i)
+
+let pins_per_side t i =
+  let l = ref 0 and r = ref 0 and b = ref 0 and tp = ref 0 in
+  List.iter
+    (fun net ->
+      List.iter
+        (fun p ->
+          if p.Net.module_id = i then
+            match p.Net.side with
+            | Net.Left -> incr l
+            | Net.Right -> incr r
+            | Net.Bottom -> incr b
+            | Net.Top -> incr tp)
+        net.Net.pins)
+    t.netl;
+  (!l, !r, !b, !tp)
+
+let nets_between t i j =
+  List.filter
+    (fun net ->
+      let ms = Net.modules net in
+      List.mem i ms && List.mem j ms)
+    t.netl
+
+let validate t =
+  let k = num_modules t in
+  let problems = ref [] in
+  Array.iter
+    (fun m ->
+      if Module_def.area m <= 0. then
+        problems :=
+          Printf.sprintf "module %s has non-positive area" m.Module_def.name
+          :: !problems)
+    t.mods;
+  List.iter
+    (fun net ->
+      if Net.degree net < 2 then
+        problems :=
+          Printf.sprintf "net %s has fewer than two pins" net.Net.name
+          :: !problems;
+      List.iter
+        (fun p ->
+          if p.Net.module_id < 0 || p.Net.module_id >= k then
+            problems :=
+              Printf.sprintf "net %s references unknown module %d" net.Net.name
+                p.Net.module_id
+              :: !problems)
+        net.Net.pins)
+    t.netl;
+  match !problems with
+  | [] -> Ok ()
+  | ps -> Error (String.concat "; " (List.rev ps))
+
+let pp_summary ppf t =
+  let flex =
+    Array.fold_left
+      (fun a m -> if Module_def.is_flexible m then a + 1 else a)
+      0 t.mods
+  in
+  Format.fprintf ppf
+    "%s: %d modules (%d flexible), %d nets, total area %g" t.nname
+    (num_modules t) flex (num_nets t) (total_area t)

@@ -1,0 +1,47 @@
+(** A floorplanning problem instance: modules plus interconnections.
+
+    Provides the derived quantities the floorplanner consumes: the
+    connectivity matrix [c_ij] (number of common nets of modules [i] and
+    [j], paper section 2.2), per-side pin counts (for routing envelopes),
+    and total module area. *)
+
+type t
+
+val create : name:string -> Module_def.t list -> Net.t list -> t
+(** Modules must carry ids [0 .. K-1] in order; every net pin must
+    reference an existing module.  @raise Invalid_argument otherwise. *)
+
+val name : t -> string
+val num_modules : t -> int
+val modules : t -> Module_def.t array
+val module_at : t -> int -> Module_def.t
+val nets : t -> Net.t list
+val num_nets : t -> int
+
+val total_area : t -> float
+(** Sum of module areas — the denominator of the paper's chip-utilization
+    figure. *)
+
+val connectivity : t -> int -> int -> int
+(** [connectivity t i j] is [c_ij], the number of nets shared by modules
+    [i] and [j]. *)
+
+val connectivity_to_set : t -> int list -> int -> int
+(** Total connectivity between one module and a set of modules — the
+    selection criterion for the next augmentation group (paper step (5)). *)
+
+val module_degree : t -> int -> int
+(** Total connectivity of a module to all others. *)
+
+val pins_per_side : t -> int -> int * int * int * int
+(** [(left, right, bottom, top)] pin counts of a module — drives envelope
+    sizing (paper section 3.2). *)
+
+val nets_between : t -> int -> int -> Net.t list
+
+val validate : t -> (unit, string) Result.t
+(** Structural sanity check (positive areas, pins reference valid modules,
+    nets have >= 2 pins); [create] already enforces this, so this is for
+    instances deserialized from text. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+let linear nl =
+  let k = Netlist.num_modules nl in
+  if k = 0 then []
+  else begin
+    let placed = Hashtbl.create k in
+    let order = ref [] in
+    let degree i = Netlist.module_degree nl i in
+    (* Seed: max total connectivity, ties toward lower id. *)
+    let seed = ref 0 in
+    for i = 1 to k - 1 do
+      if degree i > degree !seed then seed := i
+    done;
+    Hashtbl.replace placed !seed ();
+    order := [ !seed ];
+    for _ = 2 to k do
+      let best = ref (-1) and best_gain = ref (-1) and best_deg = ref (-1) in
+      let placed_list = Hashtbl.fold (fun i () acc -> i :: acc) placed [] in
+      for i = 0 to k - 1 do
+        if not (Hashtbl.mem placed i) then begin
+          let gain = Netlist.connectivity_to_set nl placed_list i in
+          let deg = degree i in
+          if
+            gain > !best_gain
+            || (gain = !best_gain && deg > !best_deg)
+            || (gain = !best_gain && deg = !best_deg && (!best < 0 || i < !best))
+          then begin
+            best := i;
+            best_gain := gain;
+            best_deg := deg
+          end
+        end
+      done;
+      Hashtbl.replace placed !best ();
+      order := !best :: !order
+    done;
+    List.rev !order
+  end
+
+let random ~seed nl =
+  let k = Netlist.num_modules nl in
+  let arr = Array.init k (fun i -> i) in
+  Fp_util.Rng.shuffle (Fp_util.Rng.create seed) arr;
+  Array.to_list arr
+
+let by_area_desc nl =
+  let k = Netlist.num_modules nl in
+  List.init k (fun i -> i)
+  |> List.sort (fun i j ->
+         compare
+           (Module_def.area (Netlist.module_at nl j))
+           (Module_def.area (Netlist.module_at nl i)))
+
+let groups ~size order =
+  if size < 1 then invalid_arg "Ordering.groups: size < 1";
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if n = size then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (n + 1) rest
+  in
+  go [] [] 0 order

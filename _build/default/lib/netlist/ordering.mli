@@ -1,0 +1,24 @@
+(** Orderings for successive augmentation.
+
+    The paper's Series-2 experiment compares two policies for "selecting
+    the order in which modules were added to the partial floorplans":
+    random, and a {e linear ordering based on connectivity} (citing Kang's
+    DAC'83 linear-ordering placement work).  Both are provided here. *)
+
+val linear : Netlist.t -> int list
+(** Connectivity-driven greedy linear ordering: start from the module with
+    the highest total connectivity, then repeatedly append the unplaced
+    module with the highest connectivity to the already-ordered set (ties:
+    higher total degree, then lower id — deterministic). *)
+
+val random : seed:int -> Netlist.t -> int list
+(** Uniform random permutation of module ids, deterministic in [seed]. *)
+
+val by_area_desc : Netlist.t -> int list
+(** Largest module first — a useful baseline for packing-quality
+    ablations (not part of the paper's experiments). *)
+
+val groups : size:int -> int list -> int list list
+(** Chop an ordering into consecutive augmentation groups of [size]
+    (the last group may be smaller).  @raise Invalid_argument if
+    [size < 1]. *)

@@ -1,0 +1,1 @@
+lib/route/adjust.ml: Array Channel_graph Float Format Fp_geometry Global_router Hashtbl Option

@@ -1,0 +1,1 @@
+lib/route/adjust.mli: Format Global_router

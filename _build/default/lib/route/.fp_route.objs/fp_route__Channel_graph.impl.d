@@ -1,0 +1,1 @@
+lib/route/channel_graph.ml: Array Float Format Fp_core Fp_geometry Fp_netlist Fun List Option

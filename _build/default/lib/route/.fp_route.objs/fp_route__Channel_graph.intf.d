@@ -1,0 +1,1 @@
+lib/route/channel_graph.mli: Format Fp_core Fp_geometry Fp_netlist

@@ -1,0 +1,1 @@
+lib/route/global_router.ml: Array Channel_graph Float Fp_core Fp_netlist Fp_util List Option

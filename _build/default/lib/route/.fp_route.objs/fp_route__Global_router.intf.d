@@ -1,0 +1,1 @@
+lib/route/global_router.mli: Channel_graph Fp_core Fp_netlist

@@ -1,0 +1,78 @@
+module Point = Fp_geometry.Point
+
+type report = {
+  base_width : float;
+  base_height : float;
+  extra_width : float;
+  extra_height : float;
+  final_width : float;
+  final_height : float;
+  final_area : float;
+  worst_column_overflow : float;
+  worst_row_overflow : float;
+}
+
+(* Group edges of one orientation by the grid line they run along and
+   take, per line, the worst shortfall of channel width. *)
+let shortfall_by_line rt ~orient ~pitch =
+  let graph = rt.Global_router.graph in
+  let table : (int, float * float) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (e : Channel_graph.edge) ->
+      if e.Channel_graph.orient = orient then begin
+        let pos = Channel_graph.node_pos graph e.Channel_graph.a in
+        let line_coord =
+          match orient with
+          | Channel_graph.V -> pos.Point.x
+          | Channel_graph.H -> pos.Point.y
+        in
+        let key = int_of_float (Float.round (line_coord *. 1024.)) in
+        let usage = rt.Global_router.usage.(i) in
+        let over_tracks = Float.max 0. (usage -. e.Channel_graph.capacity) in
+        let shortfall = over_tracks *. pitch in
+        let cur_s, cur_o =
+          Option.value (Hashtbl.find_opt table key) ~default:(0., 0.)
+        in
+        Hashtbl.replace table key
+          (Float.max cur_s shortfall, Float.max cur_o over_tracks)
+      end)
+    (Channel_graph.edges graph);
+  let total = ref 0. and worst = ref 0. in
+  Hashtbl.iter
+    (fun _ (s, o) ->
+      total := !total +. s;
+      if o > !worst then worst := o)
+    table;
+  (!total, !worst)
+
+let compute rt ~pitch_h ~pitch_v =
+  let graph = rt.Global_router.graph in
+  (* Chip extent from the graph's node cloud. *)
+  let base_width = ref 0. and base_height = ref 0. in
+  for n = 0 to Channel_graph.num_nodes graph - 1 do
+    let p = Channel_graph.node_pos graph n in
+    if p.Point.x > !base_width then base_width := p.Point.x;
+    if p.Point.y > !base_height then base_height := p.Point.y
+  done;
+  let extra_width, worst_col = shortfall_by_line rt ~orient:Channel_graph.V ~pitch:pitch_v in
+  let extra_height, worst_row = shortfall_by_line rt ~orient:Channel_graph.H ~pitch:pitch_h in
+  let final_width = !base_width +. extra_width
+  and final_height = !base_height +. extra_height in
+  {
+    base_width = !base_width;
+    base_height = !base_height;
+    extra_width;
+    extra_height;
+    final_width;
+    final_height;
+    final_area = final_width *. final_height;
+    worst_column_overflow = worst_col;
+    worst_row_overflow = worst_row;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>chip %g x %g -> %g x %g (extra w %.2f, h %.2f); final area %.1f;@ \
+     worst overflow: %.0f tracks (cols), %.0f tracks (rows)@]"
+    r.base_width r.base_height r.final_width r.final_height r.extra_width
+    r.extra_height r.final_area r.worst_column_overflow r.worst_row_overflow

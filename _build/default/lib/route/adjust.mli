@@ -1,0 +1,32 @@
+(** Channel-width adjustment and final chip area — paper section 3.2.
+
+    "On the final step of the algorithm widths of channels are adjusted
+    to accommodate results of the global routing and the final chip area
+    is computed."
+
+    The model: every vertical slice of the chip (a column of the routing
+    grid) must be wide enough for the vertical wires that cross it, and
+    every horizontal slice tall enough for its horizontal wires.  Where
+    the global routing exceeds a channel's free cross-section, the chip
+    grows by the shortfall.  Floorplans built {e with} envelopes reserved
+    that space up front and need less post-hoc growth — the effect
+    Table 3 demonstrates. *)
+
+type report = {
+  base_width : float;
+  base_height : float;
+  extra_width : float;
+      (** total widening needed by over-capacity vertical channels *)
+  extra_height : float;
+  final_width : float;
+  final_height : float;
+  final_area : float;
+  worst_column_overflow : float;  (** tracks, before adjustment *)
+  worst_row_overflow : float;
+}
+
+val compute : Global_router.t -> pitch_h:float -> pitch_v:float -> report
+(** Derive the adjusted chip dimensions from a routing result.  Pitches
+    must match the ones used to build the channel graph. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/slicing/anneal.ml: Float Fp_core Fp_geometry Fp_netlist Fp_util Int List Polish Shape Unix

@@ -1,0 +1,1 @@
+lib/slicing/anneal.mli: Fp_core Fp_netlist

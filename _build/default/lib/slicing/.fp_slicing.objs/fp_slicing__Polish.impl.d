@@ -1,0 +1,1 @@
+lib/slicing/polish.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/slicing/polish.mli: Format

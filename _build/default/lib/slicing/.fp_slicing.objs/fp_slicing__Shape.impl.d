@@ -1,0 +1,1 @@
+lib/slicing/shape.ml: Array Float Fp_geometry Fp_netlist List Option Polish Printf

@@ -1,0 +1,1 @@
+lib/slicing/shape.mli: Fp_geometry Fp_netlist Polish

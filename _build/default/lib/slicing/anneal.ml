@@ -1,0 +1,135 @@
+module Rng = Fp_util.Rng
+module Netlist = Fp_netlist.Netlist
+module Rect = Fp_geometry.Rect
+module Placement = Fp_core.Placement
+module Metrics = Fp_core.Metrics
+
+type config = {
+  seed : int;
+  cooling : float;
+  moves_per_stage : int;
+  stages : int;
+  wire_weight : float;
+  width_limit : float option;
+  flex_samples : int;
+}
+
+let default_config =
+  {
+    seed = 1990;
+    cooling = 0.88;
+    moves_per_stage = 24;
+    stages = 60;
+    wire_weight = 0.;
+    width_limit = None;
+    flex_samples = 6;
+  }
+
+type stats = {
+  iterations : int;
+  accepted : int;
+  best_cost : float;
+  initial_cost : float;
+  elapsed : float;
+}
+
+let placement_of nl cfg expr =
+  let options_of m =
+    Shape.leaf_options ~samples:cfg.flex_samples (Netlist.module_at nl m)
+  in
+  let sized = Shape.size expr options_of in
+  let rects, w, h = Shape.realize ?width_limit:cfg.width_limit sized in
+  let pl =
+    List.fold_left
+      (fun acc (m, rect, rotated) ->
+        Placement.add acc
+          { Placement.module_id = m; rect; envelope = rect; rotated })
+      (Placement.empty ~chip_width:w)
+      rects
+  in
+  (pl, w, h)
+
+let cost_of nl cfg expr =
+  let pl, w, h = placement_of nl cfg expr in
+  let wire = if cfg.wire_weight = 0. then 0. else Metrics.hpwl nl pl in
+  (w *. h) +. (cfg.wire_weight *. wire)
+
+(* One random neighbour; returns None when the drawn move has no
+   candidates (e.g. M3 on a tiny expression). *)
+let neighbour rng expr =
+  match Rng.int rng 3 with
+  | 0 -> (
+    match Polish.m1_candidates expr with
+    | [] -> None
+    | cands -> Some (Polish.apply_m1 expr (Rng.int rng (List.length cands))))
+  | 1 ->
+    let chains = Polish.num_operator_chains expr in
+    if chains = 0 then None
+    else Some (Polish.apply_m2 expr (Rng.int rng chains))
+  | _ -> (
+    match Polish.m3_candidates expr with
+    | [] -> None
+    | cands -> Some (Polish.apply_m3 expr (List.nth cands (Rng.int rng (List.length cands)))))
+
+let run ?(config = default_config) nl =
+  let n = Netlist.num_modules nl in
+  if n = 0 then invalid_arg "Anneal.run: empty instance";
+  let t0 = Unix.gettimeofday () in
+  let rng = Rng.create config.seed in
+  let expr = ref (Polish.of_modules n) in
+  let cost = ref (cost_of nl config !expr) in
+  let initial_cost = !cost in
+  let best_expr = ref !expr and best_cost = ref !cost in
+  let iterations = ref 0 and accepted = ref 0 in
+  (* Initial temperature from the spread of a random-walk sample. *)
+  let temp =
+    let deltas = ref [] in
+    let probe = ref !expr and pc = ref !cost in
+    for _ = 1 to 30 do
+      match neighbour rng !probe with
+      | None -> ()
+      | Some cand ->
+        let c = cost_of nl config cand in
+        deltas := Float.abs (c -. !pc) :: !deltas;
+        probe := cand;
+        pc := c
+    done;
+    match !deltas with
+    | [] -> 1.
+    | ds -> Float.max 1e-3 (Fp_util.Stats.mean ds *. 1.5)
+  in
+  let temp = ref temp in
+  let moves = config.moves_per_stage * Int.max 4 n / 4 in
+  for _stage = 1 to config.stages do
+    for _ = 1 to moves do
+      incr iterations;
+      match neighbour rng !expr with
+      | None -> ()
+      | Some cand ->
+        let c = cost_of nl config cand in
+        let delta = c -. !cost in
+        let accept =
+          delta <= 0.
+          || Rng.float rng 1. < Float.exp (-.delta /. Float.max 1e-9 !temp)
+        in
+        if accept then begin
+          incr accepted;
+          expr := cand;
+          cost := c;
+          if c < !best_cost then begin
+            best_cost := c;
+            best_expr := cand
+          end
+        end
+    done;
+    temp := !temp *. config.cooling
+  done;
+  let pl, _, _ = placement_of nl config !best_expr in
+  ( pl,
+    {
+      iterations = !iterations;
+      accepted = !accepted;
+      best_cost = !best_cost;
+      initial_cost;
+      elapsed = Unix.gettimeofday () -. t0;
+    } )

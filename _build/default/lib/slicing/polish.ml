@@ -1,0 +1,143 @@
+type op = H | V
+type element = Operand of int | Operator of op
+type t = { elems : element array; n : int }
+
+let elements t = Array.to_list t.elems
+let num_modules t = t.n
+
+let of_modules n =
+  if n < 1 then invalid_arg "Polish.of_modules: need at least one module";
+  if n = 1 then { elems = [| Operand 0 |]; n }
+  else begin
+    let elems = ref [ Operand 0 ] in
+    for i = 1 to n - 1 do
+      elems := Operator V :: Operand i :: !elems
+    done;
+    { elems = Array.of_list (List.rev !elems); n }
+  end
+
+let is_valid t =
+  let seen = Array.make t.n false in
+  let rec go i operands =
+    if i >= Array.length t.elems then operands = 1
+    else
+      match t.elems.(i) with
+      | Operand m ->
+        if m < 0 || m >= t.n || seen.(m) then false
+        else begin
+          seen.(m) <- true;
+          go (i + 1) (operands + 1)
+        end
+      | Operator o ->
+        (* Balloting: strictly more operands than operators so far. *)
+        if operands < 2 then false
+        else if
+          (* Normalization: no two equal adjacent operators. *)
+          i > 0
+          &&
+          match t.elems.(i - 1) with
+          | Operator o' -> o = o'
+          | Operand _ -> false
+        then false
+        else go (i + 1) (operands - 1)
+  in
+  go 0 0 && Array.length t.elems = (2 * t.n) - 1
+
+(* Positions (indices into elems) of all operands, in order. *)
+let operand_positions t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i e -> match e with Operand _ -> acc := i :: !acc | Operator _ -> ())
+    t.elems;
+  Array.of_list (List.rev !acc)
+
+let m1_candidates t =
+  let pos = operand_positions t in
+  List.init
+    (Array.length pos - 1)
+    (fun k -> (pos.(k), pos.(k + 1)))
+
+let apply_m1 t k =
+  let pos = operand_positions t in
+  if k < 0 || k + 1 >= Array.length pos then
+    invalid_arg "Polish.apply_m1: operand index out of range";
+  let elems = Array.copy t.elems in
+  let i = pos.(k) and j = pos.(k + 1) in
+  let tmp = elems.(i) in
+  elems.(i) <- elems.(j);
+  elems.(j) <- tmp;
+  { t with elems }
+
+(* Maximal runs of consecutive operators. *)
+let operator_chains t =
+  let chains = ref [] and i = ref 0 in
+  let len = Array.length t.elems in
+  while !i < len do
+    (match t.elems.(!i) with
+    | Operator _ ->
+      let start = !i in
+      while !i < len && (match t.elems.(!i) with Operator _ -> true | _ -> false)
+      do
+        incr i
+      done;
+      chains := (start, !i - 1) :: !chains
+    | Operand _ -> incr i)
+  done;
+  Array.of_list (List.rev !chains)
+
+let num_operator_chains t = Array.length (operator_chains t)
+
+let apply_m2 t c =
+  let chains = operator_chains t in
+  if c < 0 || c >= Array.length chains then
+    invalid_arg "Polish.apply_m2: chain index out of range";
+  let lo, hi = chains.(c) in
+  let elems = Array.copy t.elems in
+  for i = lo to hi do
+    match elems.(i) with
+    | Operator H -> elems.(i) <- Operator V
+    | Operator V -> elems.(i) <- Operator H
+    | Operand _ -> assert false
+  done;
+  { t with elems }
+
+let swap_at t p =
+  let elems = Array.copy t.elems in
+  let tmp = elems.(p) in
+  elems.(p) <- elems.(p + 1);
+  elems.(p + 1) <- tmp;
+  { t with elems }
+
+let m3_candidates t =
+  let len = Array.length t.elems in
+  let ok = ref [] in
+  for p = 0 to len - 2 do
+    let is_pair =
+      match (t.elems.(p), t.elems.(p + 1)) with
+      | Operand _, Operator _ | Operator _, Operand _ -> true
+      | _ -> false
+    in
+    if is_pair then begin
+      let t' = swap_at t p in
+      if is_valid t' then ok := p :: !ok
+    end
+  done;
+  List.rev !ok
+
+let apply_m3 t p =
+  if p < 0 || p + 1 >= Array.length t.elems then
+    invalid_arg "Polish.apply_m3: position out of range";
+  let t' = swap_at t p in
+  if not (is_valid t') then
+    invalid_arg "Polish.apply_m3: move breaks validity";
+  t'
+
+let pp ppf t =
+  Array.iteri
+    (fun i e ->
+      if i > 0 then Format.pp_print_char ppf ' ';
+      match e with
+      | Operand m -> Format.pp_print_int ppf m
+      | Operator H -> Format.pp_print_char ppf 'H'
+      | Operator V -> Format.pp_print_char ppf 'V')
+    t.elems

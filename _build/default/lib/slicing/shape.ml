@@ -1,0 +1,144 @@
+module Rect = Fp_geometry.Rect
+module Tol = Fp_geometry.Tol
+module Module_def = Fp_netlist.Module_def
+
+type option_list = (float * float) list
+
+let leaf_options ?(samples = 6) (m : Module_def.t) =
+  match m.Module_def.shape with
+  | Module_def.Rigid { w; h } ->
+    if Float.abs (w -. h) <= Tol.eps then [ (w, h) ] else [ (w, h); (h, w) ]
+  | Module_def.Flexible { area; min_aspect; max_aspect } ->
+    let w_min = Float.sqrt (area *. min_aspect)
+    and w_max = Float.sqrt (area *. max_aspect) in
+    if w_max -. w_min <= Tol.eps then [ (w_min, area /. w_min) ]
+    else
+      List.init samples (fun i ->
+          let t = float_of_int i /. float_of_int (samples - 1) in
+          let w = w_min +. (t *. (w_max -. w_min)) in
+          (w, area /. w))
+
+(* Tree with per-node shape curves.  Each curve entry remembers how it
+   was produced so realization can walk back down. *)
+type entry = { w : float; h : float; li : int; ri : int }
+
+type tree =
+  | Leaf of int * (float * float) array
+  | Node of Polish.op * sized * sized
+
+and sized = { tree : tree; curve : entry array }
+
+(* Pareto-prune a list of entries: keep, per distinct width, the minimal
+   height, and drop dominated points. *)
+let prune entries =
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare a.w b.w with 0 -> compare a.h b.h | c -> c)
+      entries
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | e :: rest -> (
+      match acc with
+      | prev :: _ when e.h >= prev.h -. Tol.eps -> go acc rest
+      | _ -> go (e :: acc) rest)
+  in
+  Array.of_list (go [] sorted)
+
+let combine op (l : sized) (r : sized) =
+  let entries = ref [] in
+  Array.iteri
+    (fun li le ->
+      Array.iteri
+        (fun ri re ->
+          let w, h =
+            match op with
+            | Polish.V -> (le.w +. re.w, Float.max le.h re.h)
+            | Polish.H -> (Float.max le.w re.w, le.h +. re.h)
+          in
+          entries := { w; h; li; ri } :: !entries)
+        r.curve)
+    l.curve;
+  { tree = Node (op, l, r); curve = prune !entries }
+
+let size expr options_of =
+  if not (Polish.is_valid expr) then
+    invalid_arg "Shape.size: invalid Polish expression";
+  let stack = ref [] in
+  List.iter
+    (fun e ->
+      match e with
+      | Polish.Operand m ->
+        let opts = Array.of_list (options_of m) in
+        if Array.length opts = 0 then
+          invalid_arg
+            (Printf.sprintf "Shape.size: module %d has no shape options" m);
+        let curve =
+          prune
+            (Array.to_list
+               (Array.mapi (fun i (w, h) -> { w; h; li = i; ri = -1 }) opts))
+        in
+        stack := { tree = Leaf (m, opts); curve } :: !stack
+      | Polish.Operator op -> (
+        match !stack with
+        | r :: l :: rest -> stack := combine op l r :: rest
+        | _ -> invalid_arg "Shape.size: malformed expression"))
+    (Polish.elements expr);
+  match !stack with
+  | [ s ] -> s
+  | _ -> invalid_arg "Shape.size: malformed expression"
+
+let frontier s = Array.to_list s.curve |> List.map (fun e -> (e.w, e.h))
+
+let best_area_entry s =
+  Array.fold_left
+    (fun acc e ->
+      match acc with
+      | None -> Some e
+      | Some b -> if e.w *. e.h < (b.w *. b.h) -. Tol.eps then Some e else acc)
+    None s.curve
+  |> Option.get
+
+let best_area s =
+  let e = best_area_entry s in
+  (e.w, e.h)
+
+let realize ?width_limit s =
+  let root =
+    match width_limit with
+    | None -> best_area_entry s
+    | Some wl -> (
+      let fitting =
+        Array.to_list s.curve |> List.filter (fun e -> e.w <= wl +. Tol.eps)
+      in
+      match fitting with
+      | [] -> best_area_entry s
+      | e :: rest ->
+        List.fold_left (fun b e -> if e.h < b.h then e else b) e rest)
+  in
+  let out = ref [] in
+  (* Walk down: at each node, the chosen entry points at the child
+     entries that produced it. *)
+  let rec walk s (entry : entry) x y =
+    match s.tree with
+    | Leaf (m, opts) ->
+      let w, h = opts.(entry.li) in
+      let rotated =
+        (* A rigid leaf offers exactly the two orientations; picking the
+           second (the swap of the first) means rotation.  Flexible
+           leaves sample many widths and are never "rotated". *)
+        Array.length opts = 2 && entry.li = 1
+        && Tol.equal w (snd opts.(0))
+        && Tol.equal h (fst opts.(0))
+      in
+      out := (m, Rect.make ~x ~y ~w ~h, rotated) :: !out
+    | Node (op, l, r) ->
+      let le = l.curve.(entry.li) and re = r.curve.(entry.ri) in
+      walk l le x y;
+      (match op with
+      | Polish.V -> walk r re (x +. le.w) y
+      | Polish.H -> walk r re x (y +. le.h))
+  in
+  walk s root 0. 0.;
+  (List.rev !out, root.w, root.h)

@@ -1,0 +1,42 @@
+(** Shape curves and floorplan realization for slicing trees.
+
+    Bottom-up sizing of a slicing floorplan (Otten / Stockmeyer): each
+    subtree carries the Pareto frontier of its feasible (width, height)
+    bounding boxes.  A vertical cut [V] places children side by side
+    (widths add, heights max); a horizontal cut [H] stacks them (heights
+    add, widths max).  Leaves offer both orientations of a rigid module,
+    or sampled points of the exact hyperbola [h = S / w] of a flexible
+    one — the slicing baseline gets the {e exact} shape function, unlike
+    the MILP which linearizes it. *)
+
+type option_list = (float * float) list
+(** Candidate (width, height) shapes for one module. *)
+
+val leaf_options : ?samples:int -> Fp_netlist.Module_def.t -> option_list
+(** Shapes of one module: both orientations for a rigid module; [samples]
+    (default 6) width samples across the aspect window for a flexible
+    one. *)
+
+type sized
+(** A slicing tree annotated with shape curves. *)
+
+val size : Polish.t -> (int -> option_list) -> sized
+(** Evaluate the shape curve of the whole expression.
+    @raise Invalid_argument on an invalid expression or a module with no
+    shape options. *)
+
+val frontier : sized -> (float * float) list
+(** Root Pareto frontier, in increasing width. *)
+
+val best_area : sized -> float * float
+(** Root shape of minimum bounding-box area. *)
+
+val realize :
+  ?width_limit:float ->
+  sized ->
+  (int * Fp_geometry.Rect.t * bool) list * float * float
+(** Choose a root shape — minimum area, or minimum height among shapes
+    with width <= [width_limit] when given (min area if none fits) — and
+    walk the tree assigning coordinates.  Returns
+    [(module_id, rect, rotated)] per module plus the chip [(w, h)].
+    Every module rect lies inside the chip and no two overlap. *)

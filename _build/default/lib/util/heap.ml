@@ -1,0 +1,68 @@
+type 'a t = {
+  mutable keys : float array;
+  mutable vals : 'a option array;
+  mutable n : int;
+}
+
+let create () = { keys = Array.make 16 0.; vals = Array.make 16 None; n = 0 }
+let is_empty t = t.n = 0
+let size t = t.n
+
+let grow t =
+  if t.n >= Array.length t.keys then begin
+    let cap = 2 * Array.length t.keys in
+    let keys = Array.make cap 0. and vals = Array.make cap None in
+    Array.blit t.keys 0 keys 0 t.n;
+    Array.blit t.vals 0 vals 0 t.n;
+    t.keys <- keys;
+    t.vals <- vals
+  end
+
+let swap t i j =
+  let k = t.keys.(i) and v = t.vals.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.vals.(i) <- t.vals.(j);
+  t.keys.(j) <- k;
+  t.vals.(j) <- v
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.keys.(i) < t.keys.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.n && t.keys.(l) < t.keys.(!smallest) then smallest := l;
+  if r < t.n && t.keys.(r) < t.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t key v =
+  grow t;
+  t.keys.(t.n) <- key;
+  t.vals.(t.n) <- Some v;
+  t.n <- t.n + 1;
+  sift_up t (t.n - 1)
+
+let pop t =
+  if t.n = 0 then None
+  else begin
+    let key = t.keys.(0) and v = t.vals.(0) in
+    t.n <- t.n - 1;
+    t.keys.(0) <- t.keys.(t.n);
+    t.vals.(0) <- t.vals.(t.n);
+    t.vals.(t.n) <- None;
+    if t.n > 0 then sift_down t 0;
+    match v with Some v -> Some (key, v) | None -> assert false
+  end
+
+let peek t =
+  if t.n = 0 then None
+  else match t.vals.(0) with Some v -> Some (t.keys.(0), v) | None -> assert false

@@ -1,0 +1,19 @@
+(** Mutable binary min-heap keyed by floats.
+
+    Backs the Dijkstra searches of the global router.  Decrease-key is
+    handled the lazy way (re-insert and skip stale pops), which is simpler
+    and fast enough at routing-graph sizes. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** Insert a value with a priority. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority entry. *)
+
+val peek : 'a t -> (float * 'a) option

@@ -1,0 +1,48 @@
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty"
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun a x -> a +. ((x -. m) ** 2.)) 0. xs
+      /. float_of_int (List.length xs)
+    in
+    Float.sqrt var
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+let linear_fit pts =
+  let n = List.length pts in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let nf = float_of_int n in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0. pts in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0. pts in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. pts in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. pts in
+  let denom = (nf *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then
+    invalid_arg "Stats.linear_fit: degenerate x values";
+  let slope = ((nf *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. nf in
+  let ybar = sy /. nf in
+  let ss_tot =
+    List.fold_left (fun a (_, y) -> a +. ((y -. ybar) ** 2.)) 0. pts
+  in
+  let ss_res =
+    List.fold_left
+      (fun a (x, y) ->
+        let e = y -. ((slope *. x) +. intercept) in
+        a +. (e *. e))
+      0. pts
+  in
+  let r2 = if ss_tot < 1e-12 then 1. else 1. -. (ss_res /. ss_tot) in
+  { slope; intercept; r2 }
+
+let pp_fit ppf f =
+  Format.fprintf ppf "y = %.4g x %s %.4g (R^2 = %.3f)" f.slope
+    (if f.intercept < 0. then "-" else "+")
+    (Float.abs f.intercept) f.r2

@@ -1,0 +1,17 @@
+(** Small statistics helpers for the experiment harness. *)
+
+val mean : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; [0.] for fewer than two samples. *)
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+val linear_fit : (float * float) list -> fit
+(** Least-squares line through [(x, y)] samples.  Used to check the
+    paper's Table-1 claim that execution time grows almost linearly with
+    the number of modules.  @raise Invalid_argument with fewer than two
+    points or degenerate x. *)
+
+val pp_fit : Format.formatter -> fit -> unit

@@ -1,0 +1,1 @@
+lib/viz/ascii.ml: Array Buffer Float Fp_core Fp_geometry Int List Printf String

@@ -1,0 +1,1 @@
+lib/viz/ascii.mli: Fp_core

@@ -1,0 +1,1 @@
+lib/viz/svg.ml: Array Buffer Float Fp_core Fp_geometry Fp_netlist Fp_route List Out_channel Printf

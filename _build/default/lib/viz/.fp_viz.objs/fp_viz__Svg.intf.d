@@ -1,0 +1,1 @@
+lib/viz/svg.mli: Fp_core Fp_netlist Fp_route

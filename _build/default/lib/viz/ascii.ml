@@ -1,0 +1,61 @@
+module Rect = Fp_geometry.Rect
+module Placement = Fp_core.Placement
+
+let render ?(cols = 72) pl =
+  let w = pl.Placement.chip_width and h = pl.Placement.height in
+  if w <= 0. || h <= 0. then "(empty placement)\n"
+  else begin
+    let sx = float_of_int cols /. w in
+    (* Terminal cells are ~2x taller than wide. *)
+    let rows = Int.max 2 (int_of_float (Float.round (h *. sx /. 2.))) in
+    let sy = float_of_int rows /. h in
+    let grid = Array.make_matrix rows cols ' ' in
+    let paint (r : Rect.t) ch =
+      let c0 = int_of_float (Float.round (r.Rect.x *. sx))
+      and c1 = int_of_float (Float.round (Rect.x_max r *. sx)) in
+      let r0 = int_of_float (Float.round (r.Rect.y *. sy))
+      and r1 = int_of_float (Float.round (Rect.y_max r *. sy)) in
+      for row = Int.max 0 r0 to Int.min (rows - 1) (r1 - 1) do
+        for col = Int.max 0 c0 to Int.min (cols - 1) (c1 - 1) do
+          grid.(row).(col) <- ch row col
+        done
+      done;
+      (r0, r1, c0, c1)
+    in
+    List.iter
+      (fun p ->
+        ignore (paint p.Placement.envelope (fun _ _ -> '.'));
+        let label = Printf.sprintf "%02d" p.Placement.module_id in
+        let r0, r1, c0, c1 = paint p.Placement.rect (fun _ _ -> '#') in
+        (* Border and centered label. *)
+        for col = Int.max 0 c0 to Int.min (cols - 1) (c1 - 1) do
+          if r0 >= 0 && r0 < rows then grid.(r0).(col) <- '-';
+          if r1 - 1 >= 0 && r1 - 1 < rows then grid.(r1 - 1).(col) <- '-'
+        done;
+        for row = Int.max 0 r0 to Int.min (rows - 1) (r1 - 1) do
+          if c0 >= 0 && c0 < cols then grid.(row).(c0) <- '|';
+          if c1 - 1 >= 0 && c1 - 1 < cols then grid.(row).(c1 - 1) <- '|'
+        done;
+        let mid_row = (r0 + r1) / 2 and mid_col = (c0 + c1) / 2 in
+        String.iteri
+          (fun i ch ->
+            let col = mid_col - 1 + i in
+            if mid_row >= 0 && mid_row < rows && col > c0 && col < c1 - 1
+               && col >= 0 && col < cols
+            then grid.(mid_row).(col) <- ch)
+          label)
+      pl.Placement.placed;
+    let buf = Buffer.create (rows * (cols + 1)) in
+    Buffer.add_string buf (Printf.sprintf "+%s+\n" (String.make cols '-'));
+    (* y grows upward: print top row first. *)
+    for row = rows - 1 downto 0 do
+      Buffer.add_char buf '|';
+      Array.iter (Buffer.add_char buf) grid.(row);
+      Buffer.add_string buf "|\n"
+    done;
+    Buffer.add_string buf (Printf.sprintf "+%s+\n" (String.make cols '-'));
+    Buffer.contents buf
+  end
+
+let render_with_title ?cols ~title pl =
+  Printf.sprintf "%s\n%s" title (render ?cols pl)

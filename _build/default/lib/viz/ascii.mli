@@ -1,0 +1,11 @@
+(** Terminal rendering of floorplans (paper Figures 5 and 8, in spirit).
+
+    Each module is drawn as a box of its two-digit id; envelope area
+    beyond the silicon shows as ['.'], free chip area as [' ']. *)
+
+val render : ?cols:int -> Fp_core.Placement.t -> string
+(** Render the placement scaled to roughly [cols] terminal columns
+    (default 72).  The vertical scale compensates for terminal cell
+    aspect ratio. *)
+
+val render_with_title : ?cols:int -> title:string -> Fp_core.Placement.t -> string

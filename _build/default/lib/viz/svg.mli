@@ -1,0 +1,27 @@
+(** SVG rendering of floorplans and routed floorplans.
+
+    Regenerates the paper's Figure 5 (a floorplan of the ami33 chip) and
+    Figure 6 (the final floorplan with routing space): modules as filled
+    rectangles with their envelopes outlined, and — when a routing result
+    is supplied — channel-graph edges drawn with width proportional to
+    their wire usage. *)
+
+val of_placement :
+  ?scale:float ->
+  ?netlist:Fp_netlist.Netlist.t ->
+  Fp_core.Placement.t ->
+  string
+(** Standalone SVG document.  [scale] is pixels per floorplan unit
+    (default 6).  When [netlist] is given, module names label the
+    rectangles. *)
+
+val of_routed :
+  ?scale:float ->
+  ?netlist:Fp_netlist.Netlist.t ->
+  Fp_core.Placement.t ->
+  Fp_route.Global_router.t ->
+  string
+(** Same, with the routing overlay. *)
+
+val save : string -> string -> unit
+(** [save path svg] writes the document to a file. *)

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Fp_data Fp_netlist List Printf

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Array Float Fp_geometry Fun List QCheck QCheck_alcotest

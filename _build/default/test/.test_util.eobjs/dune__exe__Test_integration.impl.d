@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Augment Compact Filename Fp_core Fp_milp Fp_netlist Fp_route Fp_slicing Fp_viz Hashtbl List Metrics Option Placement Printf Refine String Sys Topology

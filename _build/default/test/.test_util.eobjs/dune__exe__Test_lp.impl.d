@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Fp_lp List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_milp.ml: Alcotest Array Float Fp_lp Fp_milp List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Float Fp_netlist Fun List Printf String

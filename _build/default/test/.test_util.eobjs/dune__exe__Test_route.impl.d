@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Array Float Fp_core Fp_geometry Fp_netlist Fp_route Fun List Option Printf

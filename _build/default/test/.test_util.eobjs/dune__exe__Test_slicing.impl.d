@@ -1,0 +1,1 @@
+test/test_slicing.ml: Alcotest Array Format Fp_core Fp_geometry Fp_netlist Fp_slicing Fp_util Fun List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fp_util Fun List Option QCheck QCheck_alcotest

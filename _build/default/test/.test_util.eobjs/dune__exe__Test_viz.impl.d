@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Filename Fp_core Fp_geometry Fp_netlist Fp_route Fp_viz Fun In_channel List String Sys

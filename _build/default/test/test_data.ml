@@ -1,0 +1,122 @@
+(* Tests for Fp_data: the synthetic ami33 instance and the Table-1
+   instance families. *)
+
+module Netlist = Fp_netlist.Netlist
+module Module_def = Fp_netlist.Module_def
+module Net = Fp_netlist.Net
+module Parser = Fp_netlist.Parser
+module Ami33 = Fp_data.Ami33
+module Instances = Fp_data.Instances
+
+let checkf msg = Alcotest.check (Alcotest.float 1e-6) msg
+
+let test_ami33_module_count () =
+  let nl = Ami33.netlist () in
+  Alcotest.(check int) "33 modules" 33 (Netlist.num_modules nl);
+  Alcotest.(check int) "matches constant" Ami33.num_modules
+    (Netlist.num_modules nl)
+
+let test_ami33_total_area () =
+  (* The paper: "the benchmark ami33 (total modules area is 11520)". *)
+  checkf "total area 11520" 11520. (Netlist.total_area (Ami33.netlist ()))
+
+let test_ami33_net_count () =
+  let nl = Ami33.netlist () in
+  Alcotest.(check int) "123 nets" 123 (Netlist.num_nets nl);
+  Alcotest.(check int) "matches constant" Ami33.num_nets (Netlist.num_nets nl)
+
+let test_ami33_mixed_shapes () =
+  let nl = Ami33.netlist () in
+  let flex =
+    Array.fold_left
+      (fun a m -> if Module_def.is_flexible m then a + 1 else a)
+      0 (Netlist.modules nl)
+  in
+  Alcotest.(check int) "8 flexible" 8 flex
+
+let test_ami33_validates () =
+  Alcotest.(check bool) "validates" true
+    (Netlist.validate (Ami33.netlist ()) = Ok ())
+
+let test_ami33_deterministic () =
+  Alcotest.(check string) "identical across calls"
+    (Parser.to_string (Ami33.netlist ()))
+    (Parser.to_string (Ami33.netlist ()))
+
+let test_ami33_has_critical_nets () =
+  let crit =
+    List.filter (fun n -> n.Net.criticality > 0.) (Netlist.nets (Ami33.netlist ()))
+  in
+  Alcotest.(check bool) "some critical nets" true (List.length crit > 0)
+
+let test_ami33_connectivity_locality () =
+  (* Locality means connectivity-driven ordering has signal: the average
+     connectivity of id-adjacent modules should exceed the average over
+     all pairs. *)
+  let nl = Ami33.netlist () in
+  let k = Netlist.num_modules nl in
+  let adjacent = ref 0. and all = ref 0. and pairs = ref 0 in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      let c = float_of_int (Netlist.connectivity nl i j) in
+      all := !all +. c;
+      incr pairs;
+      if j = i + 1 then adjacent := !adjacent +. c
+    done
+  done;
+  let avg_adj = !adjacent /. float_of_int (k - 1)
+  and avg_all = !all /. float_of_int !pairs in
+  Alcotest.(check bool) "locality present" true (avg_adj > avg_all)
+
+let test_table1_sizes () =
+  Alcotest.(check (list int)) "paper's sizes" [ 15; 20; 25; 33 ]
+    Instances.table1_sizes
+
+let test_table1_instances () =
+  List.iter
+    (fun k ->
+      let nl = Instances.table1_instance k in
+      Alcotest.(check int) (Printf.sprintf "%d modules" k) k
+        (Netlist.num_modules nl);
+      Alcotest.(check bool) "validates" true (Netlist.validate nl = Ok ()))
+    Instances.table1_sizes
+
+let test_table1_unknown_size () =
+  Alcotest.check_raises "no such row"
+    (Invalid_argument "Instances.table1_instance: no Table-1 row with 17")
+    (fun () -> ignore (Instances.table1_instance 17))
+
+let test_table1_deterministic () =
+  Alcotest.(check string) "same instance each call"
+    (Parser.to_string (Instances.table1_instance 20))
+    (Parser.to_string (Instances.table1_instance 20))
+
+let test_random_family () =
+  let fam = Instances.random_family ~sizes:[ 6; 9 ] ~seed:5 in
+  Alcotest.(check (list int)) "sizes" [ 6; 9 ]
+    (List.map Netlist.num_modules fam)
+
+let () =
+  Alcotest.run "fp_data"
+    [
+      ( "ami33",
+        [
+          Alcotest.test_case "module count" `Quick test_ami33_module_count;
+          Alcotest.test_case "total area" `Quick test_ami33_total_area;
+          Alcotest.test_case "net count" `Quick test_ami33_net_count;
+          Alcotest.test_case "mixed shapes" `Quick test_ami33_mixed_shapes;
+          Alcotest.test_case "validates" `Quick test_ami33_validates;
+          Alcotest.test_case "deterministic" `Quick test_ami33_deterministic;
+          Alcotest.test_case "critical nets" `Quick test_ami33_has_critical_nets;
+          Alcotest.test_case "connectivity locality" `Quick
+            test_ami33_connectivity_locality;
+        ] );
+      ( "instances",
+        [
+          Alcotest.test_case "sizes" `Quick test_table1_sizes;
+          Alcotest.test_case "instances" `Quick test_table1_instances;
+          Alcotest.test_case "unknown size" `Quick test_table1_unknown_size;
+          Alcotest.test_case "deterministic" `Quick test_table1_deterministic;
+          Alcotest.test_case "random family" `Quick test_random_family;
+        ] );
+    ]

@@ -1,0 +1,277 @@
+(* Tests for Fp_slicing: normalized Polish expressions and their moves,
+   shape curves, realization, and the simulated-annealing driver. *)
+
+module Rect = Fp_geometry.Rect
+module Module_def = Fp_netlist.Module_def
+module Netlist = Fp_netlist.Netlist
+module Generator = Fp_netlist.Generator
+module Polish = Fp_slicing.Polish
+module Shape = Fp_slicing.Shape
+module Anneal = Fp_slicing.Anneal
+module Placement = Fp_core.Placement
+
+let checkf msg = Alcotest.check (Alcotest.float 1e-6) msg
+
+let expr_str e = Format.asprintf "%a" Polish.pp e
+
+(* ------------------------------ Polish ------------------------------ *)
+
+let test_initial_expression () =
+  let e = Polish.of_modules 4 in
+  Alcotest.(check string) "canonical" "0 1 V 2 V 3 V" (expr_str e);
+  Alcotest.(check bool) "valid" true (Polish.is_valid e);
+  Alcotest.(check int) "modules" 4 (Polish.num_modules e)
+
+let test_single_module () =
+  let e = Polish.of_modules 1 in
+  Alcotest.(check string) "just the operand" "0" (expr_str e);
+  Alcotest.(check bool) "valid" true (Polish.is_valid e)
+
+let test_m1_swaps_operands () =
+  let e = Polish.of_modules 3 in
+  let e' = Polish.apply_m1 e 0 in
+  Alcotest.(check string) "swapped" "1 0 V 2 V" (expr_str e');
+  Alcotest.(check bool) "still valid" true (Polish.is_valid e');
+  Alcotest.(check int) "m1 candidate count" 2
+    (List.length (Polish.m1_candidates e))
+
+let test_m2_complements_chain () =
+  let e = Polish.of_modules 3 in
+  (* chains: the V after 1, and the V after 2. *)
+  Alcotest.(check int) "two chains" 2 (Polish.num_operator_chains e);
+  let e' = Polish.apply_m2 e 0 in
+  Alcotest.(check string) "first chain flipped" "0 1 H 2 V" (expr_str e');
+  Alcotest.(check bool) "still valid" true (Polish.is_valid e')
+
+let test_m3_preserves_validity () =
+  let e = Polish.of_modules 4 in
+  List.iter
+    (fun p ->
+      let e' = Polish.apply_m3 e p in
+      Alcotest.(check bool)
+        (Printf.sprintf "m3 at %d valid" p)
+        true (Polish.is_valid e'))
+    (Polish.m3_candidates e)
+
+let test_m3_rejects_bad_position () =
+  let e = Polish.of_modules 2 in
+  (* Position 0 would put the operator first: invalid. *)
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Polish.apply_m3 e 1);
+       (* swapping (1, V) at position 1 gives "0 V 1": invalid. *)
+       false
+     with Invalid_argument _ -> true)
+
+let test_random_walk_stays_valid =
+  QCheck.Test.make ~name:"random move walks keep expressions valid" ~count:60
+    QCheck.(pair (int_range 2 9) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Fp_util.Rng.create seed in
+      let e = ref (Polish.of_modules n) in
+      let ok = ref true in
+      for _ = 1 to 40 do
+        (match Fp_util.Rng.int rng 3 with
+        | 0 ->
+          let c = Polish.m1_candidates !e in
+          if c <> [] then
+            e := Polish.apply_m1 !e (Fp_util.Rng.int rng (List.length c))
+        | 1 ->
+          let c = Polish.num_operator_chains !e in
+          if c > 0 then e := Polish.apply_m2 !e (Fp_util.Rng.int rng c)
+        | _ ->
+          let c = Polish.m3_candidates !e in
+          if c <> [] then
+            e := Polish.apply_m3 !e
+                (List.nth c (Fp_util.Rng.int rng (List.length c))));
+        if not (Polish.is_valid !e) then ok := false
+      done;
+      !ok)
+
+(* ------------------------------ Shape ------------------------------- *)
+
+let rigid id w h = Module_def.rigid ~id ~name:(Printf.sprintf "m%d" id) ~w ~h
+
+let test_leaf_options_rigid () =
+  Alcotest.(check int) "two orientations" 2
+    (List.length (Shape.leaf_options (rigid 0 4. 2.)));
+  Alcotest.(check int) "square has one" 1
+    (List.length (Shape.leaf_options (rigid 0 3. 3.)))
+
+let test_leaf_options_flexible () =
+  let f =
+    Module_def.flexible ~id:0 ~name:"f" ~area:16. ~min_aspect:0.25
+      ~max_aspect:4.
+  in
+  let opts = Shape.leaf_options ~samples:5 f in
+  Alcotest.(check int) "sample count" 5 (List.length opts);
+  List.iter (fun (w, h) -> checkf "exact area" 16. (w *. h)) opts
+
+let test_shape_two_modules () =
+  (* 0: 4x2, 1: 4x2; "0 1 V" side by side: best (w8, h2) or rotated
+     variants; "0 1 H": stack: 4x4. *)
+  let options_of m = Shape.leaf_options (rigid m 4. 2.) in
+  let v = Polish.of_modules 2 in
+  let sized = Shape.size v options_of in
+  let _, h = Shape.best_area sized in
+  (* Best area over {8x2=16, 6x4=24(mixed), 4x4=16(both rotated)}: 16. *)
+  let w0, h0 = Shape.best_area sized in
+  checkf "best area 16" 16. (w0 *. h0);
+  ignore h
+
+let test_frontier_pareto () =
+  let options_of m = Shape.leaf_options (rigid m (4. +. float_of_int m) 2.) in
+  let sized = Shape.size (Polish.of_modules 3) options_of in
+  let f = Shape.frontier sized in
+  let rec strictly_improving = function
+    | (w1, h1) :: ((w2, h2) :: _ as rest) ->
+      w1 < w2 && h1 > h2 && strictly_improving rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "widths increase, heights decrease" true
+    (strictly_improving f)
+
+let test_realize_no_overlap () =
+  let defs =
+    [| rigid 0 4. 2.; rigid 1 3. 3.; rigid 2 2. 5.;
+       Module_def.flexible ~id:3 ~name:"f" ~area:12. ~min_aspect:0.5
+         ~max_aspect:2. |]
+  in
+  let options_of m = Shape.leaf_options defs.(m) in
+  let e =
+    Polish.of_modules 4 |> Fun.flip Polish.apply_m2 0
+    |> Fun.flip Polish.apply_m1 1
+  in
+  let sized = Shape.size e options_of in
+  let rects, w, h = Shape.realize sized in
+  Alcotest.(check int) "all modules" 4 (List.length rects);
+  List.iteri
+    (fun i (_, a, _) ->
+      Alcotest.(check bool) "inside chip" true
+        (a.Rect.x >= -1e-6 && a.Rect.y >= -1e-6
+         && Rect.x_max a <= w +. 1e-6
+         && Rect.y_max a <= h +. 1e-6);
+      List.iteri
+        (fun j (_, b, _) ->
+          if j > i then
+            Alcotest.(check bool) "no overlap" false (Rect.overlaps a b))
+        rects)
+    rects
+
+let test_realize_width_limit () =
+  (* Two 6x2 modules under a horizontal cut ("0 1 H"): realizations are
+     the 6x4 stack or rotated variants.  Width limit 7 admits the 6x4
+     stack. *)
+  let options_of m = Shape.leaf_options (rigid m 6. 2.) in
+  let expr = Polish.apply_m2 (Polish.of_modules 2) 0 in
+  let sized = Shape.size expr options_of in
+  let _, w, h = Shape.realize ~width_limit:7. sized in
+  Alcotest.(check bool) "fits the limit" true (w <= 7. +. 1e-6);
+  checkf "stacked height" 4. h
+
+let test_realize_area_matches_curve () =
+  let options_of m = Shape.leaf_options (rigid m 5. 3.) in
+  let sized = Shape.size (Polish.of_modules 3) options_of in
+  let bw, bh = Shape.best_area sized in
+  let _, w, h = Shape.realize sized in
+  checkf "same w" bw w;
+  checkf "same h" bh h
+
+(* ------------------------------ Anneal ------------------------------ *)
+
+let test_anneal_valid_and_improves () =
+  let nl =
+    Generator.generate
+      { Generator.default_config with Generator.num_modules = 10; seed = 31 }
+  in
+  let pl, stats = Anneal.run nl in
+  Alcotest.(check bool) "valid" true (Placement.valid pl = Ok ());
+  Alcotest.(check int) "all placed" 10 (Placement.num_placed pl);
+  Alcotest.(check bool) "no worse than initial" true
+    (stats.Anneal.best_cost <= stats.Anneal.initial_cost +. 1e-6);
+  Alcotest.(check bool) "did some work" true (stats.Anneal.iterations > 100)
+
+let test_anneal_deterministic () =
+  let nl =
+    Generator.generate
+      { Generator.default_config with Generator.num_modules = 8; seed = 32 }
+  in
+  let cfg = { Anneal.default_config with Anneal.stages = 15 } in
+  let _, a = Anneal.run ~config:cfg nl in
+  let _, b = Anneal.run ~config:cfg nl in
+  checkf "same best cost" a.Anneal.best_cost b.Anneal.best_cost
+
+let test_anneal_width_limit () =
+  let nl =
+    Generator.generate
+      { Generator.default_config with Generator.num_modules = 8; seed = 33 }
+  in
+  let cfg =
+    { Anneal.default_config with
+      Anneal.width_limit = Some 70.; stages = 20 }
+  in
+  let pl, _ = Anneal.run ~config:cfg nl in
+  (* The realization prefers shapes fitting the limit when any exist. *)
+  Alcotest.(check bool) "reasonable width" true
+    (pl.Placement.chip_width <= 140.);
+  Alcotest.(check bool) "valid" true (Placement.valid pl = Ok ())
+
+let test_anneal_wire_weight_reduces_hpwl () =
+  let nl =
+    Generator.generate
+      { Generator.default_config with Generator.num_modules = 10; seed = 34 }
+  in
+  let area_only, _ =
+    Anneal.run ~config:{ Anneal.default_config with Anneal.stages = 30 } nl
+  in
+  let with_wire, _ =
+    Anneal.run
+      ~config:{ Anneal.default_config with Anneal.stages = 30; wire_weight = 2. }
+      nl
+  in
+  (* Not a strict theorem, but with substantial weight the optimizer
+     should not produce dramatically *worse* wirelength. *)
+  Alcotest.(check bool) "wire-aware HPWL not much worse" true
+    (Fp_core.Metrics.hpwl nl with_wire
+     <= (1.15 *. Fp_core.Metrics.hpwl nl area_only) +. 1e-6)
+
+let test_anneal_single_module () =
+  let nl = Netlist.create ~name:"one" [ rigid 0 4. 2. ] [] in
+  let pl, _ = Anneal.run nl in
+  checkf "area" 8. (Placement.chip_area pl)
+
+let () =
+  Alcotest.run "fp_slicing"
+    [
+      ( "polish",
+        [
+          Alcotest.test_case "initial" `Quick test_initial_expression;
+          Alcotest.test_case "single module" `Quick test_single_module;
+          Alcotest.test_case "m1" `Quick test_m1_swaps_operands;
+          Alcotest.test_case "m2" `Quick test_m2_complements_chain;
+          Alcotest.test_case "m3 validity" `Quick test_m3_preserves_validity;
+          Alcotest.test_case "m3 rejects" `Quick test_m3_rejects_bad_position;
+          QCheck_alcotest.to_alcotest test_random_walk_stays_valid;
+        ] );
+      ( "shape",
+        [
+          Alcotest.test_case "rigid options" `Quick test_leaf_options_rigid;
+          Alcotest.test_case "flexible options" `Quick test_leaf_options_flexible;
+          Alcotest.test_case "two modules" `Quick test_shape_two_modules;
+          Alcotest.test_case "pareto frontier" `Quick test_frontier_pareto;
+          Alcotest.test_case "realize no overlap" `Quick test_realize_no_overlap;
+          Alcotest.test_case "width limit" `Quick test_realize_width_limit;
+          Alcotest.test_case "realize matches curve" `Quick
+            test_realize_area_matches_curve;
+        ] );
+      ( "anneal",
+        [
+          Alcotest.test_case "valid and improves" `Quick
+            test_anneal_valid_and_improves;
+          Alcotest.test_case "deterministic" `Quick test_anneal_deterministic;
+          Alcotest.test_case "width limit" `Quick test_anneal_width_limit;
+          Alcotest.test_case "wire weight" `Quick
+            test_anneal_wire_weight_reduces_hpwl;
+          Alcotest.test_case "single module" `Quick test_anneal_single_module;
+        ] );
+    ]
