@@ -307,6 +307,64 @@ let ablations () =
   baseline_comparison ()
 
 (* --------------------------------------------------------------------- *)
+(* Checking overhead: lint findings + certification time per step         *)
+(* --------------------------------------------------------------------- *)
+
+let check_overhead () =
+  hr "Checking -- Fp_check lint findings and certification time per step";
+  printf "(every step's MILP model linted, every partial placement and its\n";
+  printf " covering decomposition certified; ami33, default config)\n\n";
+  printf "%6s %8s %8s %8s %12s %14s\n" "Step" "Errors" "Warns" "Infos"
+    "Lint (ms)" "Certify (ms)";
+  let nl = Fp_data.Ami33.netlist () in
+  let step = ref 0 in
+  (* (errors, warnings, infos, lint ms) of the step's model, filled by
+     on_model and consumed by on_step. *)
+  let pending = ref (0, 0, 0, 0.) in
+  let te = ref 0 and tw = ref 0 and ti = ref 0 in
+  let tlint = ref 0. and tcert = ref 0. in
+  let inspect =
+    {
+      Augment.on_model =
+        (fun built ->
+          incr step;
+          let t0 = Unix.gettimeofday () in
+          let ds = Fp_check.Lint.formulation built in
+          let dt = 1e3 *. (Unix.gettimeofday () -. t0) in
+          let e, w, i = Fp_check.Diagnostic.count ds in
+          pending := (e, w, i, dt));
+      on_step =
+        (fun _stat pl ->
+          let t0 = Unix.gettimeofday () in
+          let ds = Fp_check.Certify.placement nl pl in
+          let sky =
+            Skyline.of_rects ~width:pl.Placement.chip_width
+              (Placement.envelopes pl)
+          in
+          let cds =
+            Fp_check.Certify.covering ~skyline:sky
+              ~num_placed:(Placement.num_placed pl)
+              (Fp_geometry.Covering.of_skyline sky)
+          in
+          let dt = 1e3 *. (Unix.gettimeofday () -. t0) in
+          let e, w, i, lint_ms = !pending in
+          let ce, cw, ci = Fp_check.Diagnostic.count (ds @ cds) in
+          te := !te + e + ce;
+          tw := !tw + w + cw;
+          ti := !ti + i + ci;
+          tlint := !tlint +. lint_ms;
+          tcert := !tcert +. dt;
+          printf "%6d %8d %8d %8d %12.1f %14.1f\n" !step (e + ce) (w + cw)
+            (i + ci) lint_ms dt);
+    }
+  in
+  let config =
+    { (base_config ()) with Augment.check = true; inspect = Some inspect }
+  in
+  ignore (Augment.run ~config nl);
+  printf "%6s %8d %8d %8d %12.1f %14.1f\n" "total" !te !tw !ti !tlint !tcert
+
+(* --------------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one Test.make per table + kernel ablations  *)
 (* --------------------------------------------------------------------- *)
 
@@ -439,6 +497,7 @@ let run_bechamel () =
 let () =
   let run_t1 = ref false and run_t2 = ref false and run_t3 = ref false in
   let run_figs = ref false and run_abl = ref false and run_bch = ref false in
+  let run_chk = ref false in
   let any = ref false in
   let speclist =
     [
@@ -461,6 +520,9 @@ let () =
       ( "--bechamel",
         Arg.Unit (fun () -> any := true; run_bch := true),
         "  run Bechamel micro-benchmarks" );
+      ( "--check",
+        Arg.Unit (fun () -> any := true; run_chk := true),
+        "  report lint findings + certification time per step" );
       ("--quick", Arg.Set quick, "  reduced MILP budgets (fast, lower quality)");
       ("--out", Arg.Set_string out_dir, "DIR  directory for SVG outputs");
     ]
@@ -474,12 +536,14 @@ let () =
     run_t3 := true;
     run_figs := true;
     run_abl := true;
-    run_bch := true
+    run_bch := true;
+    run_chk := true
   end;
   if !run_t1 then table1 ();
   if !run_t2 then table2 ();
   if !run_t3 then table3 ();
   if !run_figs then figures ();
   if !run_abl then ablations ();
+  if !run_chk then check_overhead ();
   if !run_bch then run_bechamel ();
   printf "\ndone.\n"

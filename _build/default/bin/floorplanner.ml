@@ -3,8 +3,12 @@
    Subcommands:
      plan   -- floorplan an instance and report metrics
      route  -- floorplan, globally route, and report the adjusted area
+     check  -- floorplan with full model linting + solution certification
      gen    -- generate a random instance file
      show   -- print an instance summary
+
+   plan and route also accept --lint, which runs the same checks
+   alongside the normal output.
 
    Instances come from a file (see Fp_netlist.Parser for the format), the
    bundled synthetic ami33, or the random generator. *)
@@ -129,6 +133,68 @@ let config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed =
     milp = { d.Augment.milp with BB.node_limit = nodes };
   }
 
+(* ------------------------------ checking ----------------------------- *)
+
+module Diag = Fp_check.Diagnostic
+
+(* Augmentation hooks that lint every step's MILP model, certify every
+   partial placement, and audit the step's covering decomposition against
+   Theorems 1-2.  Findings accumulate in [findings], subjects tagged with
+   the step number. *)
+let checking_hooks nl findings =
+  let step = ref 0 in
+  let add ds =
+    findings :=
+      List.rev_append
+        (List.map
+           (fun d ->
+             { d with
+               Diag.subject = Printf.sprintf "step %d: %s" !step d.Diag.subject })
+           ds)
+        !findings
+  in
+  {
+    Augment.on_model =
+      (fun built ->
+        incr step;
+        add (Fp_check.Lint.formulation built));
+    on_step =
+      (fun _stat pl ->
+        add (Fp_check.Certify.placement nl pl);
+        let sky =
+          Fp_geometry.Skyline.of_rects ~width:pl.Placement.chip_width
+            (Placement.envelopes pl)
+        in
+        add
+          (Fp_check.Certify.covering ~skyline:sky
+             ~num_placed:(Placement.num_placed pl)
+             (Fp_geometry.Covering.of_skyline sky)));
+  }
+
+(* Final-placement certification appended after compaction / topology
+   optimization. *)
+let certify_final nl pl findings =
+  findings :=
+    List.rev_append
+      (List.map
+         (fun d ->
+           { d with Diag.subject = "final: " ^ d.Diag.subject })
+         (Fp_check.Certify.placement nl pl))
+      !findings
+
+let report_findings ~machine findings =
+  let ds = List.stable_sort Diag.compare findings in
+  if machine then List.iter (fun d -> print_endline (Diag.to_line d)) ds
+  else Fmt.pr "%a" Diag.pp_report ds;
+  if List.exists Diag.is_error ds then 1 else 0
+
+let lint_arg =
+  Arg.(value & flag
+       & info [ "lint" ]
+           ~doc:"Lint every augmentation step's MILP model, certify every \
+                 partial and the final placement, and print the findings \
+                 (exit 1 on any error-severity finding).")
+
 let run_plan nl config refine =
   let t0 = Unix.gettimeofday () in
   let res = Augment.run ~config nl in
@@ -154,7 +220,7 @@ let report_plan nl pl dt =
 
 let plan_cmd =
   let run input ami33 random seed verbose width group ordering wire envelope
-      nodes refine slicing svg ascii =
+      nodes refine slicing svg ascii lint =
     setup_logs verbose;
     match load_instance input ami33 random seed with
     | Error e ->
@@ -163,6 +229,14 @@ let plan_cmd =
     | Ok nl ->
       let config =
         config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed
+      in
+      let findings = ref [] in
+      let config =
+        if lint then
+          { config with
+            Augment.check = true;
+            inspect = Some (checking_hooks nl findings) }
+        else config
       in
       let pl, dt =
         if slicing then begin
@@ -186,13 +260,18 @@ let plan_cmd =
           Printf.printf "svg        : %s\n" path)
         svg;
       if ascii then print_string (Fp_viz.Ascii.render pl);
-      0
+      if lint then begin
+        certify_final nl pl findings;
+        report_findings ~machine:false !findings
+      end
+      else 0
   in
   let term =
     Term.(
       const run $ input_arg $ ami33_arg $ random_arg $ seed_arg $ verbose_arg
       $ width_arg $ group_arg $ ordering_arg $ objective_arg $ envelope_arg
-      $ nodes_arg $ refine_arg $ slicing_arg $ svg_arg $ ascii_arg)
+      $ nodes_arg $ refine_arg $ slicing_arg $ svg_arg $ ascii_arg
+      $ lint_arg)
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Floorplan an instance by successive augmentation")
@@ -214,7 +293,7 @@ let route_cmd =
          & info [ "penalty-off" ] ~doc:"Use the unweighted shortest path.")
   in
   let run input ami33 random seed verbose width group ordering wire envelope
-      nodes pitch penalty penalty_off svg =
+      nodes pitch penalty penalty_off svg lint =
     setup_logs verbose;
     match load_instance input ami33 random seed with
     | Error e ->
@@ -223,6 +302,14 @@ let route_cmd =
     | Ok nl ->
       let config =
         config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed
+      in
+      let findings = ref [] in
+      let config =
+        if lint then
+          { config with
+            Augment.check = true;
+            inspect = Some (checking_hooks nl findings) }
+        else config
       in
       let _, pl, dt = run_plan nl config false in
       report_plan nl pl dt;
@@ -247,17 +334,66 @@ let route_cmd =
           Fp_viz.Svg.save path (Fp_viz.Svg.of_routed ~netlist:nl pl rt);
           Printf.printf "svg        : %s\n" path)
         svg;
-      0
+      if lint then begin
+        certify_final nl pl findings;
+        report_findings ~machine:false !findings
+      end
+      else 0
   in
   let term =
     Term.(
       const run $ input_arg $ ami33_arg $ random_arg $ seed_arg $ verbose_arg
       $ width_arg $ group_arg $ ordering_arg $ objective_arg $ envelope_arg
-      $ nodes_arg $ pitch_arg $ weighted_arg $ penalty_off_arg $ svg_arg)
+      $ nodes_arg $ pitch_arg $ weighted_arg $ penalty_off_arg $ svg_arg
+      $ lint_arg)
   in
   Cmd.v
     (Cmd.info "route"
        ~doc:"Floorplan, globally route, and compute the adjusted chip area")
+    term
+
+let check_cmd =
+  let machine_arg =
+    Arg.(value & flag
+         & info [ "machine" ]
+             ~doc:"Emit one finding per line in the stable \
+                   CODE|severity|subject|message format (for CI diffing) \
+                   instead of the human-readable report.")
+  in
+  let run input ami33 random seed verbose width group ordering wire envelope
+      nodes machine =
+    setup_logs verbose;
+    match load_instance input ami33 random seed with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok nl ->
+      let config =
+        config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed
+      in
+      let findings = ref [] in
+      let config =
+        { config with
+          Augment.check = true;
+          inspect = Some (checking_hooks nl findings) }
+      in
+      let _, pl, _ = run_plan nl config false in
+      certify_final nl pl findings;
+      report_findings ~machine !findings
+  in
+  let term =
+    Term.(
+      const run $ input_arg $ ami33_arg $ random_arg $ seed_arg $ verbose_arg
+      $ width_arg $ group_arg $ ordering_arg $ objective_arg $ envelope_arg
+      $ nodes_arg $ machine_arg)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Floorplan an instance with full static and dynamic checking: \
+          lint every step's MILP model, certify every partial placement \
+          and covering decomposition, and certify the final floorplan.  \
+          Exits 1 when any error-severity finding is produced.")
     term
 
 let gen_cmd =
@@ -319,4 +455,6 @@ let () =
         "Analytical floorplan design and optimization (Sutanthavibul, \
          Shragowitz and Rosen, DAC 1990)"
   in
-  exit (Cmd.eval' (Cmd.group info [ plan_cmd; route_cmd; gen_cmd; show_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ plan_cmd; route_cmd; check_cmd; gen_cmd; show_cmd ]))

@@ -1,0 +1,1 @@
+lib/check/certify.ml: Array Diagnostic Float Fp_core Fp_geometry Fp_netlist List Option Printf

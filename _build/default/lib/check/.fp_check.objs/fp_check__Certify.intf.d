@@ -1,0 +1,1 @@
+lib/check/certify.mli: Diagnostic Fp_core Fp_geometry Fp_netlist

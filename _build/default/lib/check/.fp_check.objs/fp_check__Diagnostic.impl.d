@@ -1,0 +1,1 @@
+lib/check/diagnostic.ml: Fmt Int List Printf String

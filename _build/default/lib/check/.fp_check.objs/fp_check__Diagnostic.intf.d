@@ -1,0 +1,1 @@
+lib/check/diagnostic.mli: Fmt Format

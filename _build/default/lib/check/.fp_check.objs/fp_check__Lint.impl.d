@@ -1,0 +1,1 @@
+lib/check/lint.ml: Array Diagnostic Float Fp_core Fp_geometry Fp_lp Fp_milp Fp_netlist Hashtbl Int List Printf String

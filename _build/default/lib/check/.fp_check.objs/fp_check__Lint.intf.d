@@ -1,0 +1,1 @@
+lib/check/lint.mli: Diagnostic Fp_core Fp_milp

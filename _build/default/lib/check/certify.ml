@@ -1,0 +1,243 @@
+module Rect = Fp_geometry.Rect
+module Skyline = Fp_geometry.Skyline
+module Tol = Fp_geometry.Tol
+module Netlist = Fp_netlist.Netlist
+module Module_def = Fp_netlist.Module_def
+module Placement = Fp_core.Placement
+module Metrics = Fp_core.Metrics
+module D = Diagnostic
+
+type reported = {
+  objective : [ `Height | `Height_plus_wire of float ];
+  value : float;
+}
+
+(* A real overlap must exceed [tol] in BOTH dimensions; simplex-precision
+   slivers along one axis are abutments, not violations. *)
+let overlaps_tol ~tol a b =
+  let dx = Float.min (Rect.x_max a) (Rect.x_max b) -. Float.max a.Rect.x b.Rect.x
+  and dy = Float.min (Rect.y_max a) (Rect.y_max b) -. Float.max a.Rect.y b.Rect.y in
+  dx > tol && dy > tol
+
+let inside_tol ~tol ~outer ~inner =
+  inner.Rect.x >= outer.Rect.x -. tol
+  && inner.Rect.y >= outer.Rect.y -. tol
+  && Rect.x_max inner <= Rect.x_max outer +. tol
+  && Rect.y_max inner <= Rect.y_max outer +. tol
+
+let subject (p : Placement.placed) name =
+  Printf.sprintf "module %s" (Option.value name ~default:(string_of_int p.Placement.module_id))
+
+let placement ?(tol = Tol.eps) ?reported netlist (pl : Placement.t) =
+  let acc = ref [] in
+  let emit d = acc := d :: !acc in
+  let num_modules = Netlist.num_modules netlist in
+  let name_of p =
+    let id = p.Placement.module_id in
+    if id >= 0 && id < num_modules then
+      Some (Netlist.module_at netlist id).Module_def.name
+    else None
+  in
+  let strip =
+    Rect.make ~x:0. ~y:0. ~w:pl.Placement.chip_width
+      ~h:(Float.max 0. pl.Placement.height)
+  in
+  let placed = Array.of_list pl.Placement.placed in
+  (* CT001: pairwise envelope overlap. *)
+  let n = Array.length placed in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = placed.(i) and b = placed.(j) in
+      if overlaps_tol ~tol a.Placement.envelope b.Placement.envelope then
+        emit
+          (D.make ~code:"CT001" ~severity:D.Error
+             ~subject:
+               (Printf.sprintf "modules %s/%s"
+                  (Option.value (name_of a)
+                     ~default:(string_of_int a.Placement.module_id))
+                  (Option.value (name_of b)
+                     ~default:(string_of_int b.Placement.module_id)))
+             "envelopes overlap by %g x %g (envelopes %s and %s)"
+             (Float.min
+                (Rect.x_max a.Placement.envelope)
+                (Rect.x_max b.Placement.envelope)
+             -. Float.max a.Placement.envelope.Rect.x
+                  b.Placement.envelope.Rect.x)
+             (Float.min
+                (Rect.y_max a.Placement.envelope)
+                (Rect.y_max b.Placement.envelope)
+             -. Float.max a.Placement.envelope.Rect.y
+                  b.Placement.envelope.Rect.y)
+             (Rect.to_string a.Placement.envelope)
+             (Rect.to_string b.Placement.envelope))
+    done
+  done;
+  let max_top = ref 0. in
+  Array.iter
+    (fun p ->
+      let name = name_of p in
+      let subj = subject p name in
+      max_top := Float.max !max_top (Rect.y_max p.Placement.envelope);
+      (* CT012: unknown module id — all per-module def checks need it. *)
+      (match name with
+      | None ->
+        emit
+          (D.make ~code:"CT012" ~severity:D.Error ~subject:subj
+             "module id %d is not in netlist %s (which has %d modules)"
+             p.Placement.module_id (Netlist.name netlist) num_modules)
+      | Some _ -> ());
+      (* CT002: containment in the chip strip. *)
+      if not (inside_tol ~tol ~outer:strip ~inner:p.Placement.envelope) then
+        emit
+          (D.make ~code:"CT002" ~severity:D.Error ~subject:subj
+             "envelope %s escapes the chip strip [0, %g] x [0, %g]"
+             (Rect.to_string p.Placement.envelope)
+             pl.Placement.chip_width pl.Placement.height);
+      (* CT003: silicon inside its envelope. *)
+      if
+        not
+          (inside_tol ~tol ~outer:p.Placement.envelope ~inner:p.Placement.rect)
+      then
+        emit
+          (D.make ~code:"CT003" ~severity:D.Error ~subject:subj
+             "silicon %s sticks out of its envelope %s"
+             (Rect.to_string p.Placement.rect)
+             (Rect.to_string p.Placement.envelope));
+      match name with
+      | None -> ()
+      | Some _ -> (
+        let def = Netlist.module_at netlist p.Placement.module_id in
+        match def.Module_def.shape with
+        | Module_def.Rigid { w; h } ->
+          (* CT004: placed dimensions must match (w, h) under the
+             recorded rotation flag. *)
+          let ew, eh =
+            if p.Placement.rotated then (h, w) else (w, h)
+          in
+          if
+            not
+              (Tol.within ~tol p.Placement.rect.Rect.w ew
+              && Tol.within ~tol p.Placement.rect.Rect.h eh)
+          then
+            emit
+              (D.make ~code:"CT004" ~severity:D.Error ~subject:subj
+                 "rigid module placed as %g x %g but its definition is \
+                  %g x %g%s (rotated = %b)"
+                 p.Placement.rect.Rect.w p.Placement.rect.Rect.h w h
+                 (if p.Placement.rotated then " (rotated)" else "")
+                 p.Placement.rotated)
+        | Module_def.Flexible { area; min_aspect; max_aspect } ->
+          if p.Placement.rotated then
+            emit
+              (D.make ~code:"CT004" ~severity:D.Warning ~subject:subj
+                 "flexible module carries rotated = true; rotation is \
+                  meaningless for flexible modules (aspect bounds already \
+                  cover it)");
+          (* CT005: area conservation, relative tolerance. *)
+          let got = Rect.area p.Placement.rect in
+          let atol = tol *. Float.max 1. area in
+          if Float.abs (got -. area) > atol then
+            emit
+              (D.make ~code:"CT005" ~severity:D.Error ~subject:subj
+                 "flexible module area not conserved: placed %g x %g = %g, \
+                  prescribed %g (off by %g)"
+                 p.Placement.rect.Rect.w p.Placement.rect.Rect.h got area
+                 (Float.abs (got -. area)));
+          (* CT006: aspect bounds, audited in the width domain where the
+             feasible set is the interval [sqrt(S*b), sqrt(S*a)]. *)
+          let w_lo, w_hi =
+            (sqrt (area *. min_aspect), sqrt (area *. max_aspect))
+          in
+          let w = p.Placement.rect.Rect.w in
+          if w < w_lo -. tol || w > w_hi +. tol then
+            emit
+              (D.make ~code:"CT006" ~severity:D.Error ~subject:subj
+                 "flexible module width %g outside the aspect-feasible \
+                  interval [%g, %g] (aspect w/h = %g, bounds [%g, %g])"
+                 w w_lo w_hi
+                 (w /. p.Placement.rect.Rect.h)
+                 min_aspect max_aspect)))
+    placed;
+  (* CT011: the recorded chip height must be the max envelope top. *)
+  if not (Tol.within ~tol pl.Placement.height !max_top) then
+    emit
+      (D.make ~code:"CT011" ~severity:D.Error ~subject:"placement"
+         "recorded chip height %g but the tallest envelope tops out at %g"
+         pl.Placement.height !max_top);
+  (* CT010: objective recomputation. *)
+  (match reported with
+  | None -> ()
+  | Some { objective; value } ->
+    let recomputed =
+      match objective with
+      | `Height -> !max_top
+      | `Height_plus_wire lambda ->
+        !max_top +. (lambda *. Metrics.hpwl netlist pl)
+    in
+    let otol = tol *. Float.max 1. (Float.abs recomputed) in
+    if Float.abs (recomputed -. value) > otol then
+      emit
+        (D.make ~code:"CT010" ~severity:D.Error ~subject:"objective"
+           "reported objective %g but recomputation from the geometry \
+            gives %g (off by %g)"
+           value recomputed
+           (Float.abs (recomputed -. value))));
+  List.stable_sort D.compare !acc
+
+let covering ?(tol = Tol.eps) ~skyline ~num_placed rects =
+  let acc = ref [] in
+  let emit d = acc := d :: !acc in
+  let width = Skyline.width skyline in
+  (* CT007: Theorem 2's bound — at most one covering rectangle per placed
+     module. *)
+  let n = List.length rects in
+  if n > num_placed then
+    emit
+      (D.make ~code:"CT007" ~severity:D.Error ~subject:"covering"
+         "%d covering rectangles for %d placed modules; Theorem 2 bounds \
+          the minimal cover by the module count"
+         n num_placed);
+  (* CT008: each rectangle grounded in the strip and under the profile. *)
+  List.iteri
+    (fun i r ->
+      let subj = Printf.sprintf "covering rect %d" i in
+      if
+        r.Rect.x < -.tol
+        || Rect.x_max r > width +. tol
+        || r.Rect.y < -.tol
+      then
+        emit
+          (D.make ~code:"CT008" ~severity:D.Error ~subject:subj
+             "rectangle %s leaves the chip strip of width %g"
+             (Rect.to_string r) width)
+      else if r.Rect.w > tol then begin
+        let ceiling =
+          Skyline.min_height_over skyline ~x0:r.Rect.x ~x1:(Rect.x_max r)
+        in
+        if Rect.y_max r > ceiling +. tol then
+          emit
+            (D.make ~code:"CT008" ~severity:D.Error ~subject:subj
+               "rectangle %s rises above the skyline (top %g, profile \
+                minimum over its span %g): it covers space no module \
+                occupies"
+               (Rect.to_string r) (Rect.y_max r) ceiling)
+      end)
+    rects;
+  (* CT009: exact coverage — union area equal to the area under the
+     profile.  Combined with CT008 (every rect under the profile and
+     grounded at y >= 0) this forces the hole-free flat-bottom cover of
+     Theorem 1: any hole or floating rectangle shows up as a deficit. *)
+  let covered = Rect.union_area rects
+  and target = Skyline.area_under skyline in
+  let atol = tol *. Float.max 1. target in
+  if Float.abs (covered -. target) > atol then
+    emit
+      (D.make ~code:"CT009" ~severity:D.Error ~subject:"covering"
+         "covering rectangles cover area %g but the region under the \
+          skyline has area %g (off by %g): the cover has holes or strays \
+          outside the region"
+         covered target
+         (Float.abs (covered -. target)));
+  List.stable_sort D.compare !acc
+
+let accepts ds = not (List.exists D.is_error ds)

@@ -1,0 +1,59 @@
+(** Independent certification of floorplanner output.
+
+    The certifier trusts nothing the optimizer computed: given only the
+    problem statement (netlist + chip width) and a claimed
+    {!Fp_core.Placement.t}, it re-verifies every floorplan invariant from
+    first principles with {!Fp_geometry} primitives — pairwise
+    non-overlap, chip-bounds containment, rotation consistency, flexible
+    module area conservation and aspect bounds, and (optionally) the
+    reported objective value.  {!covering} separately audits a
+    covering-rectangle decomposition against the paper's Theorems 1–2:
+    every rectangle must sit under the skyline on a hole-free base, and
+    there can be at most as many rectangles as placed modules.
+
+    All geometric predicates accept a symmetric tolerance [tol] (default
+    {!Fp_geometry.Tol.eps}): overlaps smaller than [tol] in either
+    dimension and bound violations up to [tol] are forgiven, matching the
+    precision the simplex delivers.
+
+    Diagnostic codes CT001–CT012 are catalogued with triggering examples
+    in [docs/analysis.md]. *)
+
+type reported = {
+  objective : [ `Height | `Height_plus_wire of float ];
+      (** What the optimizer minimized; [`Height_plus_wire lambda] is
+          [height + lambda * total HPWL]. *)
+  value : float;  (** The objective value the optimizer reported. *)
+}
+
+val placement :
+  ?tol:float ->
+  ?reported:reported ->
+  Fp_netlist.Netlist.t ->
+  Fp_core.Placement.t ->
+  Diagnostic.t list
+(** Certify a (possibly partial) placement against its netlist.  Checks
+    (codes CT001–CT006 and CT010–CT012, see docs/analysis.md): envelope
+    pairwise non-overlap; containment in the chip strip; silicon inside
+    its envelope; rigid dimensions consistent with the [rotated] flag;
+    flexible module area conservation; flexible aspect-ratio bounds;
+    recorded chip height equal to the max envelope top; module ids known
+    to the netlist; and, when [reported] is given, the objective value
+    recomputed from the geometry. *)
+
+val covering :
+  ?tol:float ->
+  skyline:Fp_geometry.Skyline.t ->
+  num_placed:int ->
+  Fp_geometry.Rect.t list ->
+  Diagnostic.t list
+(** Certify a covering-rectangle decomposition of the region under
+    [skyline] (codes CT007–CT009): at most [num_placed] rectangles
+    (Theorem 2's bound [n <= N]); every rectangle grounded in the strip
+    and under the profile; and the rectangles' union area equal to the
+    area under the profile — together these force the flat-bottom,
+    hole-free cover of Theorem 1. *)
+
+val accepts : Diagnostic.t list -> bool
+(** [true] when no finding is an [Error] — warnings and infos do not
+    reject a floorplan. *)

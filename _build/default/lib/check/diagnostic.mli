@@ -1,0 +1,51 @@
+(** Structured findings emitted by the static analyses of [Fp_check].
+
+    Every finding carries a stable {e code} (catalogued in
+    [docs/analysis.md]), a severity, the {e subject} it is about (a
+    variable, constraint row, module id, or covering rectangle), and a
+    human-readable message.  Two renderings are provided:
+
+    - {!pp} — colourised human-readable output (via [Fmt]);
+    - {!to_line} — a stable one-line-per-finding machine format
+      [CODE|severity|subject|message] that CI jobs can diff across runs
+      (the message is guaranteed newline- and pipe-free). *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;      (** stable code, e.g. ["ML008"] — see docs/analysis.md *)
+  severity : severity;
+  subject : string;   (** what the finding is about, e.g. ["row c42"] *)
+  message : string;
+}
+
+val make :
+  code:string -> severity:severity -> subject:string ->
+  ('a, unit, string, t) format4 -> 'a
+(** [make ~code ~severity ~subject fmt ...] builds a finding with a
+    printf-formatted message. *)
+
+val severity_label : severity -> string
+(** ["error"], ["warning"], or ["info"] — the labels used by both
+    renderings. *)
+
+val is_error : t -> bool
+
+val count : t list -> int * int * int
+(** [(errors, warnings, infos)]. *)
+
+val errors : t list -> t list
+
+val compare : t -> t -> int
+(** Severity-major (errors first), then code, then subject — the stable
+    report order. *)
+
+val pp : t Fmt.t
+(** Human-readable, colourised when the formatter has styling enabled. *)
+
+val to_line : t -> string
+(** Machine-readable [CODE|severity|subject|message]; [|] and newlines in
+    the components are replaced so the line structure is unambiguous. *)
+
+val pp_report : Format.formatter -> t list -> unit
+(** Sorted findings, one per line, followed by a summary count line. *)

@@ -1,1 +1,1 @@
-lib/core/augment.ml: Array Compact Float Formulation Fp_geometry Fp_milp Fp_netlist Fun List Logs Placement String Unix Warm_start
+lib/core/augment.ml: Array Compact Float Formulation Fp_geometry Fp_milp Fp_netlist Fun List Logs Option Placement String Unix Warm_start

@@ -1,1 +1,1 @@
-lib/core/formulation.ml: Array Float Fp_geometry Fp_lp Fp_milp Fp_netlist Hashtbl List Placement Printf
+lib/core/formulation.ml: Array Float Fp_geometry Fp_lp Fp_milp Fp_netlist Hashtbl Int List Placement Printf

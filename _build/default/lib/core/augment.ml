@@ -13,6 +13,24 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type envelope_config = { pitch_h : float; pitch_v : float; share : float }
 
+type step_stat = {
+  group : int list;
+  num_integer_vars : int;
+  num_constraints : int;
+  num_cover_rects : int;
+  milp_status : Branch_bound.status;
+  nodes : int;
+  lp_solves : int;
+  warm_height : float;
+  step_height : float;
+  step_time : float;
+}
+
+type inspect = {
+  on_model : Formulation.built -> unit;
+  on_step : step_stat -> Placement.t -> unit;
+}
+
 type config = {
   chip_width : float option;
   group_size : int;
@@ -26,6 +44,8 @@ type config = {
   compact_each_step : bool;
   critical_net_bound : (Fp_netlist.Net.t -> float option) option;
   milp : Branch_bound.params;
+  check : bool;
+  inspect : inspect option;
 }
 
 let default_config =
@@ -49,20 +69,9 @@ let default_config =
         min_improvement = 1e-4;
         branch_rule = Branch_bound.First_fractional;
       };
+    check = false;
+    inspect = None;
   }
-
-type step_stat = {
-  group : int list;
-  num_integer_vars : int;
-  num_constraints : int;
-  num_cover_rects : int;
-  milp_status : Branch_bound.status;
-  nodes : int;
-  lp_solves : int;
-  warm_height : float;
-  step_height : float;
-  step_time : float;
-}
 
 type result = {
   placement : Placement.t;
@@ -211,9 +220,10 @@ let run ?(config = default_config) nl =
         Formulation.build ~chip_width ~height_bound ~objective:cfg.objective
           ~allow_rotation:cfg.allow_rotation
           ~linearization:cfg.linearization ~fixed:obstacles ?wire_context
-          ?net_length_bound:cfg.critical_net_bound
+          ?net_length_bound:cfg.critical_net_bound ~check:cfg.check
           (Array.to_list items)
       in
+      Option.iter (fun i -> i.on_model built) cfg.inspect;
       let warm_sol =
         (* The warm placement avoids the obstacles by construction; if
            numerics still reject it, search without an incumbent rather
@@ -277,6 +287,7 @@ let run ?(config = default_config) nl =
             (String.concat "," (List.map string_of_int group))
             stat.num_integer_vars stat.num_constraints stat.num_cover_rects
             stat.nodes stat.step_height stat.warm_height);
+      Option.iter (fun i -> i.on_step stat !placement) cfg.inspect;
       steps := stat :: !steps)
     groups;
   {

@@ -27,6 +27,34 @@ type envelope_config = {
           flanking it; 0.5 by default *)
 }
 
+type step_stat = {
+  group : int list;              (** module ids added this step *)
+  num_integer_vars : int;
+  num_constraints : int;
+  num_cover_rects : int;
+  milp_status : Fp_milp.Branch_bound.status;
+  nodes : int;
+  lp_solves : int;
+  warm_height : float;           (** bottom-left incumbent height *)
+  step_height : float;           (** chip height after this step *)
+  step_time : float;             (** seconds *)
+}
+
+type inspect = {
+  on_model : Formulation.built -> unit;
+      (** Called with every step's formulation before it is solved —
+          lint hook. *)
+  on_step : step_stat -> Placement.t -> unit;
+      (** Called after every augmentation step with the step's stats and
+          the partial placement it produced — certification hook. *)
+}
+(** Observation hooks injected through {!config}.  [Fp_core] cannot
+    depend on [Fp_check] (the checker certifies this library's output),
+    so callers that want every model linted and every partial placement
+    certified inject the checks here — see the [check] subcommand and
+    [--lint] flag of [bin/floorplanner.ml].  Exceptions raised by a hook
+    abort the run. *)
+
 type config = {
   chip_width : float option;
       (** [None]: use [sqrt total_reserved_area], clamped so the widest
@@ -53,25 +81,16 @@ type config = {
           step cannot satisfy the bound, that step falls back to its
           warm start (and logs a warning) rather than failing the run *)
   milp : Fp_milp.Branch_bound.params;
+  check : bool;
+      (** run {!Formulation.self_check} on every step's model (raises on
+          a structurally broken formulation) *)
+  inspect : inspect option;  (** observation hooks; [None] by default *)
 }
 
 val default_config : config
 (** group size 4, linear ordering, area objective, rotation on, secant
     linearization, covering on, no envelopes, MILP budget 4000 nodes /
-    20 s per step. *)
-
-type step_stat = {
-  group : int list;              (** module ids added this step *)
-  num_integer_vars : int;
-  num_constraints : int;
-  num_cover_rects : int;
-  milp_status : Fp_milp.Branch_bound.status;
-  nodes : int;
-  lp_solves : int;
-  warm_height : float;           (** bottom-left incumbent height *)
-  step_height : float;           (** chip height after this step *)
-  step_time : float;             (** seconds *)
-}
+    20 s per step, no checks, no hooks. *)
 
 type result = {
   placement : Placement.t;

@@ -209,9 +209,66 @@ let pin_expr gx gy gw gh side =
   | Net.Bottom -> (gx + (0.5 * gw), gy)
   | Net.Top -> (gx + (0.5 * gw), gy + gh)
 
+(* Structural self-audit of a freshly built formulation.  The builder is
+   supposed to emit a separation for every pair of objects and to declare
+   every Choice4 binary pair for 4-way branching; a refactor that drops
+   one produces a model that solves happily and overlaps modules.  Pure
+   fp_core (raises instead of returning diagnostics) so [build] can run
+   it without depending on [Fp_check]; the library-level lint reports the
+   same conditions as FL001-FL003 findings. *)
+let self_check (b : built) =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let n = Array.length b.items in
+  let covered = Hashtbl.create 64 in
+  List.iter
+    (fun (i, other, sep) ->
+      (match other with
+      | Other_item j ->
+        Hashtbl.replace covered (`Item (Int.min i j, Int.max i j)) ()
+      | Other_fixed fi -> Hashtbl.replace covered (`Fixed (i, fi)) ());
+      match sep with
+      | Choice4 { bx; by } ->
+        let declared =
+          List.exists
+            (fun (a, c) -> (a = bx && c = by) || (a = by && c = bx))
+            (Model.pairs b.model)
+        in
+        if not declared then
+          fail "Formulation.self_check: Choice4 binaries of item %d not \
+                declared as a branching pair" i
+      | Fixed_rel _ | Choice2 _ -> ())
+    b.seps;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (Hashtbl.mem covered (`Item (i, j))) then
+        fail "Formulation.self_check: no separation between items %d and %d"
+          i j
+    done
+  done;
+  List.iteri
+    (fun fi r ->
+      for i = 0 to n - 1 do
+        if not (Hashtbl.mem covered (`Fixed (i, fi))) then
+          fail
+            "Formulation.self_check: no separation between item %d and \
+             fixed rectangle %d"
+            i fi
+      done;
+      if
+        Tol.lt r.Rect.x 0.
+        || Tol.lt b.chip_width (Rect.x_max r)
+        || Tol.lt r.Rect.y 0.
+        || Tol.lt b.height_bound (Rect.y_max r)
+      then
+        fail "Formulation.self_check: fixed rectangle %d (%s) outside the \
+              chip strip"
+          fi (Rect.to_string r))
+    b.fixed
+
 let build ~chip_width ~height_bound ?(objective = Min_height)
     ?(allow_rotation = true) ?(linearization = Secant) ?(fixed = [])
-    ?wire_context ?(net_length_bound = fun _ -> None) item_list =
+    ?wire_context ?(net_length_bound = fun _ -> None) ?(check = false)
+    item_list =
   let items = Array.of_list item_list in
   let n = Array.length items in
   let model = Model.create ~name:"floorplan_step" () in
@@ -441,10 +498,14 @@ let build ~chip_width ~height_bound ?(objective = Min_height)
   in
   Model.set_objective model `Minimize
     Expr.(var height + (lambda * wire_term));
-  {
-    model; chip_width; height_bound; items; x; y; rot; flex; w_expr; h_expr;
-    height; seps = List.rev !seps; net_infos; fixed; linearization;
-  }
+  let b =
+    {
+      model; chip_width; height_bound; items; x; y; rot; flex; w_expr; h_expr;
+      height; seps = List.rev !seps; net_infos; fixed; linearization;
+    }
+  in
+  if check then self_check b;
+  b
 
 (* ------------------------------------------------------------------ *)
 (* Warm start                                                           *)

@@ -99,6 +99,7 @@ val build :
   ?fixed:Rect.t list ->
   ?wire_context:Fp_netlist.Netlist.t * Placement.t * int array ->
   ?net_length_bound:(Fp_netlist.Net.t -> float option) ->
+  ?check:bool ->
   item list ->
   built
 (** [build ~chip_width ~height_bound items] assembles the model.
@@ -115,9 +116,22 @@ val build :
     MILP then refuses placements that stretch that net, independent of
     the objective.  Requires [wire_context] to capture the nets.
 
+    [check] (default [false]) runs {!self_check} on the result before
+    returning it.
+
     @raise Invalid_argument if an item cannot fit the strip width, if
     [height_bound] is too small for any item, or if a wire objective is
     requested without [wire_context]. *)
+
+val self_check : built -> unit
+(** Structural self-audit: every item pair and every item–fixed pair must
+    carry a separation entry, every [Choice4] separation's binaries must
+    be declared as a branching pair, and every fixed rectangle must lie
+    inside the chip strip.  [build] establishes all of this by
+    construction; the audit guards against refactors that silently drop a
+    disjunction — the failure mode where the MILP happily overlaps
+    modules.  @raise Failure on the first violation.  [Fp_check.Lint]
+    reports the same conditions as structured diagnostics instead. *)
 
 val item_min_width : ?allow_rotation:bool -> item -> float
 (** Smallest feasible envelope width over rotation / flexing. *)

@@ -1,3 +1,10 @@
+(* Tolerance discipline (shared with Skyline): extrema over segment heights
+   are computed with exact float comparisons — a min must pick a definite
+   witness — while every *predicate* (is this segment at, above, or below a
+   level?) goes through Tol with the default eps, so heights within eps of
+   the local minimum collapse into the same slab instead of spawning
+   sliver rectangles. *)
+
 (* The decomposition works on the skyline's segment array.  [carve base lo hi]
    handles the sub-profile of segments with indices in [lo, hi): it cuts the
    slab between [base] and the minimum height of the range (one horizontal

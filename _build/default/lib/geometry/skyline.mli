@@ -36,6 +36,14 @@ val of_rects : width:float -> Rect.t list -> t
 val height_over : t -> x0:float -> x1:float -> float
 (** Maximum profile height over the (positive-length) range [\[x0, x1\]]. *)
 
+val min_height_over : t -> x0:float -> x1:float -> float
+(** Minimum profile height over the segments overlapping the
+    (positive-length) range [\[x0, x1\]] clipped to the chip width;
+    [infinity] when the clipped range is empty.  A rectangle with span
+    [\[x0, x1\]] lies under the profile iff its top is at most this value
+    — the predicate the solution certifier uses to audit covering
+    rectangles (paper Theorems 1–2). *)
+
 val max_height : t -> float
 val min_height : t -> float
 

@@ -1,7 +1,15 @@
 let eps = 1e-6
-let equal a b = Float.abs (a -. b) <= eps
-let leq a b = a <= b +. eps
-let lt a b = a < b -. eps
-let geq a b = leq b a
-let is_zero a = equal a 0.
+
+(* Every predicate below is defined through [within] / [leq] with an
+   explicit tolerance, so the whole geometric layer shares one comparison
+   discipline and callers that need a different tolerance (the certifier,
+   LP-facing code) can pass their own instead of re-deriving eps
+   arithmetic. *)
+
+let within ~tol a b = Float.abs (a -. b) <= tol
+let equal ?(tol = eps) a b = within ~tol a b
+let leq ?(tol = eps) a b = a <= b +. tol
+let lt ?(tol = eps) a b = a < b -. tol
+let geq ?(tol = eps) a b = leq ~tol b a
+let is_zero ?(tol = eps) a = within ~tol a 0.
 let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x

@@ -2,24 +2,34 @@
 
     All module dimensions in the bundled instances are small integers stored
     as floats, so a fixed absolute tolerance is adequate; no geometric
-    predicate in this library needs exact arithmetic. *)
+    predicate in this library needs exact arithmetic.
+
+    Every predicate takes an optional [?tol] (default {!eps}) and is defined
+    through {!within}, so the library applies one consistent comparison
+    discipline; callers with different precision needs (the solution
+    certifier, LP-facing code) pass an explicit tolerance rather than
+    re-deriving epsilon arithmetic. *)
 
 val eps : float
 (** Absolute tolerance for coordinate comparisons (1e-6). *)
 
-val equal : float -> float -> bool
-(** [equal a b] is [true] when [a] and [b] differ by at most {!eps}. *)
+val within : tol:float -> float -> float -> bool
+(** [within ~tol a b] is [true] when [a] and [b] differ by at most [tol] —
+    the primitive every other predicate is defined through. *)
 
-val leq : float -> float -> bool
-(** [leq a b] is [a <= b + eps]. *)
+val equal : ?tol:float -> float -> float -> bool
+(** [equal a b] is [within ~tol a b]; [tol] defaults to {!eps}. *)
 
-val lt : float -> float -> bool
-(** [lt a b] is [a < b - eps] (strictly less, beyond tolerance). *)
+val leq : ?tol:float -> float -> float -> bool
+(** [leq a b] is [a <= b + tol]. *)
 
-val geq : float -> float -> bool
+val lt : ?tol:float -> float -> float -> bool
+(** [lt a b] is [a < b - tol] (strictly less, beyond tolerance). *)
+
+val geq : ?tol:float -> float -> float -> bool
 (** [geq a b] is [leq b a]. *)
 
-val is_zero : float -> bool
+val is_zero : ?tol:float -> float -> bool
 (** [is_zero a] is [equal a 0.]. *)
 
 val clamp : lo:float -> hi:float -> float -> float

@@ -68,6 +68,36 @@ let set_objective t sense expr =
 
 let problem t = t.prob
 let integer_vars t = List.rev t.ints
+
+let var_bounds t v =
+  (Lp_problem.var_lb t.prob v, Lp_problem.var_ub t.prob v)
+
+let sense t =
+  match Lp_problem.sense t.prob with
+  | Lp_problem.Minimize -> `Minimize
+  | Lp_problem.Maximize -> `Maximize
+
+let iter_vars t f =
+  for v = 0 to Lp_problem.num_vars t.prob - 1 do
+    f v
+  done
+
+let fold_vars t ~init ~f =
+  let acc = ref init in
+  iter_vars t (fun v -> acc := f !acc v);
+  !acc
+
+let iter_constrs t f =
+  Array.iter f (Lp_problem.constraints t.prob)
+
+let fold_constrs t ~init ~f =
+  Array.fold_left f init (Lp_problem.constraints t.prob)
+
+let objective_terms t =
+  List.rev
+    (fold_vars t ~init:[] ~f:(fun acc v ->
+         let c = Lp_problem.obj_coeff t.prob v in
+         if c = 0. then acc else (c, v) :: acc))
 let pairs t = List.rev t.pair_list
 let objective_constant t = t.obj_const
 let num_vars t = Lp_problem.num_vars t.prob

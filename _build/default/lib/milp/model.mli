@@ -45,7 +45,46 @@ val problem : t -> Fp_lp.Lp_problem.t
 val integer_vars : t -> var list
 val pairs : t -> (var * var) list
 val is_integer_var : t -> var -> bool
+
+val is_binary : t -> var -> bool
+(** Integer variable with bounds exactly [0, 1]. *)
+
 val objective_constant : t -> float
+
+(** {2 Read-only introspection}
+
+    Static analyzers ({!Fp_check.Lint}) and serializers walk a model
+    without mutating it.  Variables are visited in handle order (the
+    declaration order), constraints in insertion order. *)
+
+val iter_vars : t -> (var -> unit) -> unit
+(** [iter_vars t f] applies [f] to every variable handle, continuous and
+    integer alike, in declaration order. *)
+
+val fold_vars : t -> init:'a -> f:('a -> var -> 'a) -> 'a
+(** [fold_vars t ~init ~f] folds [f] over every variable handle in
+    declaration order. *)
+
+val iter_constrs : t -> (Fp_lp.Lp_problem.constr -> unit) -> unit
+(** [iter_constrs t f] applies [f] to every constraint row in insertion
+    order.  Rows are exposed as {!Fp_lp.Lp_problem.constr} records —
+    normalized [terms cmp rhs] with constants already migrated to the
+    right-hand side and duplicate variable mentions summed. *)
+
+val fold_constrs :
+  t -> init:'a -> f:('a -> Fp_lp.Lp_problem.constr -> 'a) -> 'a
+(** [fold_constrs t ~init ~f] folds [f] over every constraint row in
+    insertion order. *)
+
+val var_bounds : t -> var -> float * float
+(** [(lb, ub)] of a variable; [lb] may be [neg_infinity], [ub]
+    [infinity]. *)
+
+val objective_terms : t -> (float * var) list
+(** Nonzero objective coefficients in declaration order (the constant
+    term is {!objective_constant}). *)
+
+val sense : t -> [ `Minimize | `Maximize ]
 val num_vars : t -> int
 val num_integer_vars : t -> int
 val num_constrs : t -> int

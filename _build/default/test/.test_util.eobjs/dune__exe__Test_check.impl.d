@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Array Augment Compact Formulation Fp_check Fp_core Fp_data Fp_geometry Fp_milp Fp_netlist Fp_util Fun List Placement Printf String Topology

@@ -1,0 +1,71 @@
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  subject : string;
+  message : string;
+}
+
+let make ~code ~severity ~subject fmt =
+  Printf.ksprintf (fun message -> { code; severity; subject; message }) fmt
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let is_error d = d.severity = Error
+
+let count ds =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) ds
+
+let errors ds = List.filter is_error ds
+
+let compare a b =
+  match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> (
+    match String.compare a.code b.code with
+    | 0 -> String.compare a.subject b.subject
+    | c -> c)
+  | c -> c
+
+let severity_style = function
+  | Error -> `Red
+  | Warning -> `Yellow
+  | Info -> `Cyan
+
+let pp ppf d =
+  Fmt.pf ppf "%a %s @[<h>[%s]@] %s"
+    Fmt.(styled (`Fg (severity_style d.severity)) string)
+    (severity_label d.severity)
+    d.code d.subject d.message
+
+(* The machine format promises one finding per line with exactly three
+   [|] separators; scrub the components so that holds for any input. *)
+let scrub s =
+  String.map
+    (fun c -> match c with '|' -> '/' | '\n' | '\r' -> ' ' | c -> c)
+    s
+
+let to_line d =
+  Printf.sprintf "%s|%s|%s|%s" (scrub d.code)
+    (severity_label d.severity) (scrub d.subject) (scrub d.message)
+
+let pp_report ppf ds =
+  let ds = List.stable_sort compare ds in
+  List.iter (fun d -> Fmt.pf ppf "%a@." pp d) ds;
+  let e, w, i = count ds in
+  Fmt.pf ppf "%d error%s, %d warning%s, %d info@." e
+    (if e = 1 then "" else "s")
+    w
+    (if w = 1 then "" else "s")
+    i

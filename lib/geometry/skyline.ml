@@ -2,7 +2,7 @@ type segment = { x0 : float; x1 : float; h : float }
 type t = { width : float; segs : segment list }
 
 let create ~width =
-  if width <= Tol.eps then invalid_arg "Skyline.create: width must be > 0";
+  if Tol.leq width 0. then invalid_arg "Skyline.create: width must be > 0";
   { width; segs = [ { x0 = 0.; x1 = width; h = 0. } ] }
 
 let width t = t.width
@@ -51,6 +51,15 @@ let height_over t ~x0 ~x1 =
         Float.max acc s.h
       else acc)
     0. t.segs
+
+let min_height_over t ~x0 ~x1 =
+  let lo = Float.max 0. x0 and hi = Float.min t.width x1 in
+  List.fold_left
+    (fun acc s ->
+      if Tol.lt (Float.max s.x0 lo) (Float.min s.x1 hi) then
+        Float.min acc s.h
+      else acc)
+    infinity t.segs
 
 let max_height t = List.fold_left (fun acc s -> Float.max acc s.h) 0. t.segs
 
