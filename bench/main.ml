@@ -25,7 +25,102 @@ open Fp_core
 
 let out_dir = ref "."
 let quick = ref false
+let json = ref false
+let max_k = ref max_int
 let printf = Printf.printf
+
+(* Minimal JSON emitter — the experiment records are flat enough that a
+   dependency-free writer beats pulling in a parser library. *)
+module Json = struct
+  type t =
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let add_escaped buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let rec emit buf = function
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      (* JSON has no inf/nan literals. *)
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+      else Buffer.add_string buf "null"
+    | Str s -> add_escaped buf s
+    | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf x)
+        l;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_escaped buf k;
+          Buffer.add_char buf ':';
+          emit buf v)
+        kvs;
+      Buffer.add_char buf '}'
+end
+
+(* Write BENCH_<exp>.json into the output directory when --json is on. *)
+let write_json exp fields =
+  if !json then begin
+    let path = Filename.concat !out_dir (Printf.sprintf "BENCH_%s.json" exp) in
+    let buf = Buffer.create 1024 in
+    Json.emit buf (Json.Obj (("experiment", Json.Str exp) :: fields));
+    Buffer.add_char buf '\n';
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    printf "JSON -> %s\n" path
+  end
+
+let status_str = function
+  | BB.Optimal -> "optimal"
+  | BB.Feasible -> "feasible"
+  | BB.Infeasible -> "infeasible"
+  | BB.Unbounded -> "unbounded"
+  | BB.No_solution -> "no_solution"
+
+(* Severity order for the CI regression gate: any step losing its solution
+   outright is a solver regression; optimal -> feasible is budget noise. *)
+let status_rank = function
+  | BB.Optimal -> 0
+  | BB.Feasible -> 1
+  | BB.Infeasible | BB.Unbounded | BB.No_solution -> 2
+
+let worst_status steps =
+  List.fold_left
+    (fun acc s ->
+      if status_rank s.Augment.milp_status > status_rank acc then
+        s.Augment.milp_status
+      else acc)
+    BB.Optimal steps
+
+let sum_steps f steps = List.fold_left (fun a s -> a + f s) 0 steps
+
+let table1_sizes () =
+  List.filter (fun k -> k <= !max_k) Fp_data.Instances.table1_sizes
 
 let hr title =
   printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -57,26 +152,44 @@ let table1 () =
   printf " claim under reproduction: time grows almost linearly with K)\n\n";
   printf "%8s %12s %12s %14s %12s %10s\n" "Modules" "Chip Area" "Height"
     "Exec Time (s)" "Utilization" "MILP nodes";
-  let samples = ref [] in
+  let samples = ref [] and rows = ref [] in
   List.iter
     (fun k ->
       let nl = Fp_data.Instances.table1_instance k in
       let t0 = Unix.gettimeofday () in
       let res, pl = floorplan nl in
       let dt = Unix.gettimeofday () -. t0 in
-      let nodes =
-        List.fold_left (fun a s -> a + s.Augment.nodes) 0 res.Augment.steps
-      in
+      let steps = res.Augment.steps in
+      let nodes = sum_steps (fun s -> s.Augment.nodes) steps in
       samples := (float_of_int k, dt) :: !samples;
+      rows :=
+        Json.Obj
+          [
+            ("k", Json.Int k);
+            ("time_s", Json.Float dt);
+            ("area", Json.Float (Placement.chip_area pl));
+            ("height", Json.Float pl.Placement.height);
+            ("utilization", Json.Float (Metrics.utilization nl pl));
+            ("nodes", Json.Int nodes);
+            ("lp_solves", Json.Int (sum_steps (fun s -> s.Augment.lp_solves) steps));
+            ("warm_hits", Json.Int (sum_steps (fun s -> s.Augment.warm_hits) steps));
+            ("cold_solves", Json.Int (sum_steps (fun s -> s.Augment.cold_solves) steps));
+            ("pivots", Json.Int (sum_steps (fun s -> s.Augment.pivots) steps));
+            ("worst_status", Json.Str (status_str (worst_status steps)));
+          ]
+        :: !rows;
       printf "%8d %12.0f %12.1f %14.2f %11.1f%% %10d\n" k
         (Placement.chip_area pl) pl.Placement.height dt
         (100. *. Metrics.utilization nl pl)
         nodes)
-    Fp_data.Instances.table1_sizes;
-  let fit = Fp_util.Stats.linear_fit (List.rev !samples) in
-  printf "\nleast-squares fit of time vs K: %s\n"
-    (Format.asprintf "%a" Fp_util.Stats.pp_fit fit);
-  printf "(R^2 close to 1 supports the paper's almost-linear-growth claim)\n"
+    (table1_sizes ());
+  if List.length !samples >= 2 then begin
+    let fit = Fp_util.Stats.linear_fit (List.rev !samples) in
+    printf "\nleast-squares fit of time vs K: %s\n"
+      (Format.asprintf "%a" Fp_util.Stats.pp_fit fit);
+    printf "(R^2 close to 1 supports the paper's almost-linear-growth claim)\n"
+  end;
+  write_json "table1" [ ("rows", Json.List (List.rev !rows)) ]
 
 (* --------------------------------------------------------------------- *)
 (* Table 2: ami33, over-the-cell routing                                  *)
@@ -299,7 +412,106 @@ let baseline_comparison () =
       row "slicing SA (baseline)" sa_pl sa_stats.Fp_slicing.Anneal.elapsed)
     [ 15; 33 ]
 
+let ablation_warm_start () =
+  hr "Ablation -- basis warm starting (cold vs warm node LP solves)";
+  printf "(each B&B child differs from its parent by one variable-bound flip;\n";
+  printf " the revised simplex re-solves it from the parent basis with a few\n";
+  printf " dual pivots instead of a cold two-phase solve)\n\n";
+  printf "%4s %-6s %12s %10s %10s %10s %10s %10s %10s\n" "K" "Mode" "Area"
+    "Util" "Pivots" "LPsolves" "WarmHits" "Time (s)" "Certify";
+  let rows = ref [] in
+  let sizes =
+    match List.filter (fun k -> k = 15 || k = 25) (table1_sizes ()) with
+    | [] -> [ 15 ]
+    | l -> l
+  in
+  List.iter
+    (fun k ->
+      let nl = Fp_data.Instances.table1_instance k in
+      let run ~warm_lp ~shadow =
+        let base = base_config () in
+        let config =
+          { base with
+            Augment.milp =
+              { base.Augment.milp with BB.warm_lp; shadow_cold = shadow } }
+        in
+        let t0 = Unix.gettimeofday () in
+        let res, pl = floorplan ~config nl in
+        let dt = Unix.gettimeofday () -. t0 in
+        let errors, _, _ =
+          Fp_check.Diagnostic.count (Fp_check.Certify.placement nl pl)
+        in
+        (res.Augment.steps, pl, dt, errors)
+      in
+      (* Two end-to-end runs (honest wall clock for each engine), plus a
+         shadow run that prices every warm node with a cold solve too —
+         the matched-tree comparison the acceptance number comes from:
+         same subproblems, same floorplan by construction. *)
+      let cold_steps, cold_pl, cold_dt, cold_err = run ~warm_lp:false ~shadow:false in
+      let warm_steps, warm_pl, warm_dt, warm_err = run ~warm_lp:true ~shadow:false in
+      let sh_steps, sh_pl, _, _ = run ~warm_lp:true ~shadow:true in
+      let report mode steps pl dt errors =
+        printf "%4d %-6s %12.0f %9.1f%% %10d %10d %10d %10.2f %10s\n" k mode
+          (Placement.chip_area pl)
+          (100. *. Metrics.utilization nl pl)
+          (sum_steps (fun s -> s.Augment.pivots) steps)
+          (sum_steps (fun s -> s.Augment.lp_solves) steps)
+          (sum_steps (fun s -> s.Augment.warm_hits) steps)
+          dt
+          (if errors = 0 then "pass" else "FAIL")
+      in
+      report "cold" cold_steps cold_pl cold_dt cold_err;
+      report "warm" warm_steps warm_pl warm_dt warm_err;
+      let matched_warm = sum_steps (fun s -> s.Augment.pivots) sh_steps in
+      let matched_cold = sum_steps (fun s -> s.Augment.shadow_pivots) sh_steps in
+      let ratio =
+        if matched_warm = 0 then Float.infinity
+        else float_of_int matched_cold /. float_of_int matched_warm
+      in
+      (* The shadow run must reproduce the plain warm run exactly (the
+         extra solves are side-effect free); flag it if numerics ever
+         break that. *)
+      let same pl1 pl2 =
+        Float.abs (Placement.chip_area pl1 -. Placement.chip_area pl2)
+          <= 1e-6 *. Float.max 1. (Placement.chip_area pl1)
+      in
+      printf
+        "     matched tree: cold %d vs warm %d pivots -> %.2fx reduction%s\n"
+        matched_cold matched_warm ratio
+        (if same sh_pl warm_pl then "" else "  (SHADOW RUN DIVERGED)");
+      let mode_obj steps pl dt errors =
+        Json.Obj
+          [
+            ("area", Json.Float (Placement.chip_area pl));
+            ("utilization", Json.Float (Metrics.utilization nl pl));
+            ("pivots", Json.Int (sum_steps (fun s -> s.Augment.pivots) steps));
+            ("lp_solves", Json.Int (sum_steps (fun s -> s.Augment.lp_solves) steps));
+            ("warm_hits", Json.Int (sum_steps (fun s -> s.Augment.warm_hits) steps));
+            ("cold_solves", Json.Int (sum_steps (fun s -> s.Augment.cold_solves) steps));
+            ("refactorizations",
+             Json.Int (sum_steps (fun s -> s.Augment.refactorizations) steps));
+            ("time_s", Json.Float dt);
+            ("certified", Json.Bool (errors = 0));
+            ("worst_status", Json.Str (status_str (worst_status steps)));
+          ]
+      in
+      rows :=
+        Json.Obj
+          [
+            ("k", Json.Int k);
+            ("cold", mode_obj cold_steps cold_pl cold_dt cold_err);
+            ("warm", mode_obj warm_steps warm_pl warm_dt warm_err);
+            ("matched_cold_pivots", Json.Int matched_cold);
+            ("matched_warm_pivots", Json.Int matched_warm);
+            ("pivot_ratio", Json.Float ratio);
+            ("identical_result", Json.Bool (same sh_pl warm_pl));
+          ]
+        :: !rows)
+    sizes;
+  write_json "ablation_warm_start" [ ("rows", Json.List (List.rev !rows)) ]
+
 let ablations () =
+  ablation_warm_start ();
   ablation_group_size ();
   ablation_covering ();
   ablation_branch_rule ();
@@ -524,6 +736,12 @@ let () =
         Arg.Unit (fun () -> any := true; run_chk := true),
         "  report lint findings + certification time per step" );
       ("--quick", Arg.Set quick, "  reduced MILP budgets (fast, lower quality)");
+      ( "--json",
+        Arg.Set json,
+        "  also write machine-readable BENCH_<exp>.json files to --out" );
+      ( "--max-k",
+        Arg.Set_int max_k,
+        "N  restrict Table-1 / warm-start instances to K <= N (CI smoke)" );
       ("--out", Arg.Set_string out_dir, "DIR  directory for SVG outputs");
     ]
   in

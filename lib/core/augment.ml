@@ -21,6 +21,11 @@ type step_stat = {
   milp_status : Branch_bound.status;
   nodes : int;
   lp_solves : int;
+  warm_hits : int;
+  cold_solves : int;
+  pivots : int;
+  shadow_pivots : int;
+  refactorizations : int;
   warm_height : float;
   step_height : float;
   step_time : float;
@@ -277,6 +282,11 @@ let run ?(config = default_config) nl =
           milp_status = outcome.Branch_bound.status;
           nodes = outcome.Branch_bound.nodes;
           lp_solves = outcome.Branch_bound.lp_solves;
+          warm_hits = outcome.Branch_bound.warm_hits;
+          cold_solves = outcome.Branch_bound.cold_solves;
+          pivots = outcome.Branch_bound.pivots;
+          shadow_pivots = outcome.Branch_bound.shadow_pivots;
+          refactorizations = outcome.Branch_bound.refactorizations;
           warm_height;
           step_height = Skyline.max_height !skyline;
           step_time = Unix.gettimeofday () -. step_start;

@@ -35,6 +35,13 @@ type step_stat = {
   milp_status : Fp_milp.Branch_bound.status;
   nodes : int;
   lp_solves : int;
+  warm_hits : int;               (** node LPs answered from the parent basis *)
+  cold_solves : int;             (** node LPs solved from scratch *)
+  pivots : int;                  (** total simplex pivots (primal + dual) *)
+  shadow_pivots : int;
+      (** cold-engine pivots on the same node sequence; [0] unless
+          {!Fp_milp.Branch_bound.params}[.shadow_cold] *)
+  refactorizations : int;        (** basis refactorizations across node LPs *)
   warm_height : float;           (** bottom-left incumbent height *)
   step_height : float;           (** chip height after this step *)
   step_time : float;             (** seconds *)

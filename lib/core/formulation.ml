@@ -156,13 +156,13 @@ let emit_rel model ~bigw ~bigh gi gj rel slack =
   match rel with
   | Rel_left ->
     (* x_i + w_i <= x_j + slack * W *)
-    Model.add_constr model (gi.ox + gi.ow) Model.Le (gj.ox + (bigw * slack))
+    Model.add_constr_or_bound model (gi.ox + gi.ow) Model.Le (gj.ox + (bigw * slack))
   | Rel_right ->
-    Model.add_constr model (gj.ox + gj.ow) Model.Le (gi.ox + (bigw * slack))
+    Model.add_constr_or_bound model (gj.ox + gj.ow) Model.Le (gi.ox + (bigw * slack))
   | Rel_below ->
-    Model.add_constr model (gi.oy + gi.oh) Model.Le (gj.oy + (bigh * slack))
+    Model.add_constr_or_bound model (gi.oy + gi.oh) Model.Le (gj.oy + (bigh * slack))
   | Rel_above ->
-    Model.add_constr model (gj.oy + gj.oh) Model.Le (gi.oy + (bigh * slack))
+    Model.add_constr_or_bound model (gj.oy + gj.oh) Model.Le (gi.oy + (bigh * slack))
 
 (* Non-overlap of objects i and j restricted to the geometrically
    possible relations.  Returns the separation encoding used. *)
@@ -194,10 +194,10 @@ let add_separation model ~bigw ~bigh ~tag gi gj allowed =
       (fun r ->
         if not (List.mem r allowed) then
           match combo_of_rel r with
-          | 0, 0 -> Model.add_constr model (var bx + var by) Model.Ge (const 1.)
-          | 1, 0 -> Model.add_constr model (var bx - var by) Model.Le (const 0.)
-          | 0, 1 -> Model.add_constr model (var by - var bx) Model.Le (const 0.)
-          | _ -> Model.add_constr model (var bx + var by) Model.Le (const 1.))
+          | 0, 0 -> Model.add_constr_or_bound model (var bx + var by) Model.Ge (const 1.)
+          | 1, 0 -> Model.add_constr_or_bound model (var bx - var by) Model.Le (const 0.)
+          | 0, 1 -> Model.add_constr_or_bound model (var by - var bx) Model.Le (const 0.)
+          | _ -> Model.add_constr_or_bound model (var bx + var by) Model.Le (const 1.))
       all_rels;
     Choice4 { bx; by }
 
@@ -348,10 +348,10 @@ let build ~chip_width ~height_bound ?(objective = Min_height)
   (* Chip bounds and height definition (eq. (3)/(5)). *)
   Array.iteri
     (fun k _ ->
-      Model.add_constr model
+      Model.add_constr_or_bound model
         Expr.(var x.(k) + w_expr.(k))
         Model.Le (Expr.const chip_width);
-      Model.add_constr model
+      Model.add_constr_or_bound model
         Expr.(var y.(k) + h_expr.(k))
         Model.Le (Expr.var height))
     items;
@@ -470,15 +470,15 @@ let build ~chip_width ~height_bound ?(objective = Min_height)
           let pin_exprs = List.map snd pins in
           List.iter
             (fun (px, py) ->
-              Model.add_constr model (Expr.var lx) Model.Le px;
-              Model.add_constr model px Model.Le (Expr.var rx);
-              Model.add_constr model (Expr.var ly) Model.Le py;
-              Model.add_constr model py Model.Le (Expr.var ry))
+              Model.add_constr_or_bound model (Expr.var lx) Model.Le px;
+              Model.add_constr_or_bound model px Model.Le (Expr.var rx);
+              Model.add_constr_or_bound model (Expr.var ly) Model.Le py;
+              Model.add_constr_or_bound model py Model.Le (Expr.var ry))
             pin_exprs;
           (* Critical-net length constraint (paper section 2.2). *)
           (match net_length_bound net with
           | Some bound ->
-            Model.add_constr model
+            Model.add_constr_or_bound model
               Expr.(var rx - var lx + var ry - var ly)
               Model.Le (Expr.const bound)
           | None -> ());

@@ -105,6 +105,17 @@ let set_bounds t v ~lb ~ub =
   t.vars.(v).lb <- lb;
   t.vars.(v).ub <- ub
 
+let tighten_bounds t v ~lb ~ub =
+  check_var t v "tighten_bounds";
+  let vi = t.vars.(v) in
+  let nlb = Float.max vi.lb lb and nub = Float.min vi.ub ub in
+  if nub < nlb then false
+  else begin
+    vi.lb <- nlb;
+    vi.ub <- nub;
+    true
+  end
+
 let num_vars t = t.nvars
 let num_constrs t = t.nrows
 

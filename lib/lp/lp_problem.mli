@@ -47,6 +47,12 @@ val set_obj_coeff : t -> var -> float -> unit
 val set_sense : t -> sense -> unit
 val set_bounds : t -> var -> lb:float -> ub:float -> unit
 
+val tighten_bounds : t -> var -> lb:float -> ub:float -> bool
+(** [tighten_bounds t v ~lb ~ub] intersects [v]'s interval with
+    [[lb, ub]].  Returns [false] — leaving the variable untouched — when
+    the intersection is empty, so callers can fall back to an explicit
+    (infeasible) constraint row instead of raising. *)
+
 val num_vars : t -> int
 val num_constrs : t -> int
 

@@ -1,5 +1,5 @@
 module Lp_problem = Fp_lp.Lp_problem
-module Simplex = Fp_lp.Simplex
+module Revised = Fp_lp.Revised
 
 let src = Logs.Src.create "fp.milp" ~doc:"branch-and-bound"
 
@@ -14,6 +14,8 @@ type params = {
   min_improvement : float;
   log : bool;
   branch_rule : branch_rule;
+  warm_lp : bool;
+  shadow_cold : bool;
 }
 
 let default_params =
@@ -24,6 +26,8 @@ let default_params =
     min_improvement = 1e-7;
     log = false;
     branch_rule = Most_fractional;
+    warm_lp = true;
+    shadow_cold = false;
   }
 
 type status = Optimal | Feasible | Infeasible | Unbounded | No_solution
@@ -33,6 +37,11 @@ type outcome = {
   best : (float array * float) option;
   nodes : int;
   lp_solves : int;
+  warm_hits : int;
+  cold_solves : int;
+  refactorizations : int;
+  pivots : int;
+  shadow_pivots : int;
   root_bound : float;
   elapsed : float;
 }
@@ -46,10 +55,18 @@ type search = {
   deadline : float;
   mutable nodes : int;
   mutable lp_solves : int;
+  mutable warm_hits : int;
+  mutable cold_solves : int;
+  mutable refactorizations : int;
+  mutable pivots : int;
+  mutable shadow_pivots : int;
   mutable best_m : float;       (* incumbent objective, minimized form *)
   mutable best_x : float array option;
   mutable out_of_budget : bool;
   mutable root_unbounded : bool;
+  mutable bound_incomplete : bool;
+      (* true when a subtree had to be abandoned without a trustworthy
+         bound; demotes Optimal to Feasible *)
 }
 
 let fractionality x v =
@@ -102,44 +119,99 @@ let with_bounds s settings k =
 let budget_exhausted s =
   s.nodes >= s.prm.node_limit || Unix.gettimeofday () > s.deadline
 
-let rec explore s ~depth =
+(* One LP relaxation: warm-start from the parent's optimal basis via the
+   dual simplex when available (bound-only changes keep it dual
+   feasible), cold otherwise.  [Revised.solve_from] falls back to a cold
+   solve internally on singular or stale bases; stats.warm records which
+   path actually produced the answer. *)
+let solve_node_lp s parent_basis =
+  s.lp_solves <- s.lp_solves + 1;
+  let result, (st : Revised.stats) =
+    match parent_basis with
+    | Some snap when s.prm.warm_lp -> Revised.solve_from snap s.prob
+    | _ -> Revised.solve s.prob
+  in
+  s.pivots <- s.pivots + st.primal_pivots + st.dual_pivots;
+  s.refactorizations <- s.refactorizations + st.refactorizations;
+  if st.warm then s.warm_hits <- s.warm_hits + 1
+  else s.cold_solves <- s.cold_solves + 1;
+  (* Shadow accounting: price the identical subproblem with a cold solve
+     (discarding its answer) so warm and cold engines are compared on the
+     same search tree.  [Revised.solve] only reads the problem, so the
+     search itself is unaffected. *)
+  if s.prm.shadow_cold then begin
+    if st.warm then begin
+      let _, (cst : Revised.stats) = Revised.solve s.prob in
+      s.shadow_pivots <- s.shadow_pivots + cst.primal_pivots + cst.dual_pivots
+    end
+    else s.shadow_pivots <- s.shadow_pivots + st.primal_pivots + st.dual_pivots
+  end;
+  result
+
+(* A stand-in LP point when the node's LP failed: every unfixed integer
+   variable sits strictly between its bounds so the branching rules see
+   it as fractional; fixed variables take their value. *)
+let pseudo_point s =
+  Array.init (Lp_problem.num_vars s.prob) (fun v ->
+      let lb = Lp_problem.var_lb s.prob v and ub = Lp_problem.var_ub s.prob v in
+      if ub -. lb <= s.prm.int_tol then lb
+      else if lb > neg_infinity then lb +. 0.5
+      else if ub < infinity then ub -. 0.5
+      else 0.5)
+
+let rec explore s ~depth ~parent_basis ~parent_bound =
   if budget_exhausted s then s.out_of_budget <- true
   else begin
     s.nodes <- s.nodes + 1;
-    s.lp_solves <- s.lp_solves + 1;
-    match Simplex.solve s.prob with
-    | Simplex.Infeasible -> ()
-    | Simplex.Iteration_limit ->
-      (* No trustworthy bound: conservative choice is to abandon the
-         subtree; log loudly since it may cost optimality. *)
-      Log.warn (fun f -> f "LP iteration limit at depth %d; subtree dropped" depth)
-    | Simplex.Unbounded ->
-      if depth = 0 then s.root_unbounded <- true
-      (* Deeper nodes are restrictions of the root; if the root was
-         bounded this cannot happen. *)
-    | Simplex.Optimal { x; obj } ->
-      let m = s.sense_mult *. (obj +. Model.objective_constant s.model) in
-      if m >= s.best_m -. s.prm.min_improvement then () (* bound prune *)
-      else begin
-        match pick_branch_var s x with
-        | None ->
-          (* Integral (within tolerance): snap and accept. *)
-          let snapped = Model.round_integers s.model x in
-          let m_exact =
-            s.sense_mult
-            *. (Lp_problem.objective_value s.prob snapped
-               +. Model.objective_constant s.model)
-          in
-          (* Rounding can only move the objective through integer terms;
-             re-check feasibility to be safe. *)
-          if Lp_problem.constraint_violation s.prob snapped <= 1e-5 then
-            update_incumbent s snapped m_exact
-          else update_incumbent s x m
-        | Some v -> branch s ~depth x v
-      end
+    expand s ~depth ~parent_basis ~parent_bound
+      (solve_node_lp s parent_basis)
   end
 
-and branch s ~depth x v =
+and expand s ~depth ~parent_basis ~parent_bound result =
+  match result with
+  | Revised.Infeasible -> ()
+  | Revised.Iteration_limit ->
+    (* No bound from this node's own LP, but the node is a restriction
+       of its parent, so the parent's LP bound still applies: prune on
+       it if possible, otherwise branch blind and keep going — only
+       when the node is fully fixed must the subtree be abandoned, and
+       then optimality can no longer be claimed. *)
+    if parent_bound >= s.best_m -. s.prm.min_improvement then ()
+    else begin
+      Log.warn (fun f ->
+          f "LP iteration limit at depth %d; retreating to parent bound"
+            depth);
+      let x = pseudo_point s in
+      match pick_branch_var s x with
+      | Some v -> branch s ~depth x v ~basis:parent_basis ~bound:parent_bound
+      | None -> s.bound_incomplete <- true
+    end
+  | Revised.Unbounded ->
+    if depth = 0 then s.root_unbounded <- true
+    (* Deeper nodes are restrictions of the root; if the root was
+       bounded this cannot happen. *)
+  | Revised.Optimal { x; obj; basis } ->
+    let m = s.sense_mult *. (obj +. Model.objective_constant s.model) in
+    if m >= s.best_m -. s.prm.min_improvement then () (* bound prune *)
+    else begin
+      match pick_branch_var s x with
+      | None ->
+        (* Integral (within tolerance): snap and accept. *)
+        let snapped = Model.round_integers s.model x in
+        let m_exact =
+          s.sense_mult
+          *. (Lp_problem.objective_value s.prob snapped
+             +. Model.objective_constant s.model)
+        in
+        (* Rounding can only move the objective through integer terms;
+           re-check feasibility to be safe. *)
+        if Lp_problem.constraint_violation s.prob snapped <= 1e-5 then
+          update_incumbent s snapped m_exact
+        else update_incumbent s x m
+      | Some v -> branch s ~depth x v ~basis:(Some basis) ~bound:m
+    end
+
+and branch s ~depth x v ~basis ~bound =
   match Hashtbl.find_opt s.partner v with
   | Some w when fractionality x v > s.prm.int_tol
              || fractionality x w > s.prm.int_tol ->
@@ -156,7 +228,9 @@ and branch s ~depth x v =
         if not s.out_of_budget then
           with_bounds s
             [ (v, a, a); (w, b, b) ]
-            (fun () -> explore s ~depth:(depth + 1)))
+            (fun () ->
+              explore s ~depth:(depth + 1) ~parent_basis:basis
+                ~parent_bound:bound))
       ordered
   | _ ->
     (* Plain floor/ceil split, nearest side first. *)
@@ -164,10 +238,14 @@ and branch s ~depth x v =
     let lb = Lp_problem.var_lb s.prob v and ub = Lp_problem.var_ub s.prob v in
     let down () =
       if lo >= lb -. 1e-9 && not s.out_of_budget then
-        with_bounds s [ (v, lb, lo) ] (fun () -> explore s ~depth:(depth + 1))
+        with_bounds s [ (v, lb, lo) ] (fun () ->
+            explore s ~depth:(depth + 1) ~parent_basis:basis
+              ~parent_bound:bound)
     and up () =
       if hi <= ub +. 1e-9 && not s.out_of_budget then
-        with_bounds s [ (v, hi, ub) ] (fun () -> explore s ~depth:(depth + 1))
+        with_bounds s [ (v, hi, ub) ] (fun () ->
+            explore s ~depth:(depth + 1) ~parent_basis:basis
+              ~parent_bound:bound)
     in
     if x.(v) -. lo <= hi -. x.(v) then begin
       down ();
@@ -197,8 +275,10 @@ let solve ?(params = default_params) ?warm model =
       model; prob; prm = params; sense_mult; partner;
       deadline = start +. params.time_limit;
       nodes = 0; lp_solves = 0;
+      warm_hits = 0; cold_solves = 0; refactorizations = 0; pivots = 0;
+      shadow_pivots = 0;
       best_m = infinity; best_x = None;
-      out_of_budget = false; root_unbounded = false;
+      out_of_budget = false; root_unbounded = false; bound_incomplete = false;
     }
   in
   (* Install the warm start if it checks out. *)
@@ -216,30 +296,13 @@ let solve ?(params = default_params) ?warm model =
   | Some _ ->
     Log.warn (fun f -> f "warm start rejected (infeasible or non-integral)")
   | None -> ());
-  (* Root LP once, for the reported bound. *)
-  let root_bound =
-    s.lp_solves <- s.lp_solves + 1;
-    match Simplex.solve prob with
-    | Simplex.Optimal { obj; _ } ->
-      (sense_mult *. obj) +. (sense_mult *. Model.objective_constant model)
-    | Simplex.Unbounded | Simplex.Iteration_limit -> neg_infinity
-    | Simplex.Infeasible -> infinity
-  in
-  if root_bound = infinity && s.best_x = None then
-    {
-      status = Infeasible; best = None; nodes = 0; lp_solves = s.lp_solves;
-      root_bound = nan; elapsed = Unix.gettimeofday () -. start;
-    }
-  else begin
-    explore s ~depth:0;
+  let finish ~root_bound =
     let elapsed = Unix.gettimeofday () -. start in
-    let best =
-      Option.map (fun x -> (x, s.sense_mult *. s.best_m)) s.best_x
-    in
+    let best = Option.map (fun x -> (x, s.sense_mult *. s.best_m)) s.best_x in
     let status =
       if s.root_unbounded then Unbounded
       else
-        match (best, s.out_of_budget) with
+        match (best, s.out_of_budget || s.bound_incomplete) with
         | Some _, false -> Optimal
         | Some _, true -> Feasible
         | None, false -> Infeasible
@@ -247,6 +310,40 @@ let solve ?(params = default_params) ?warm model =
     in
     {
       status; best; nodes = s.nodes; lp_solves = s.lp_solves;
-      root_bound = sense_mult *. root_bound; elapsed;
+      warm_hits = s.warm_hits; cold_solves = s.cold_solves;
+      refactorizations = s.refactorizations; pivots = s.pivots;
+      shadow_pivots = s.shadow_pivots; root_bound; elapsed;
     }
+  in
+  if budget_exhausted s then begin
+    (* Exhausted before the root LP: report without solving anything, so
+       nodes and lp_solves stay exact (both 0). *)
+    s.out_of_budget <- true;
+    finish ~root_bound:nan
+  end
+  else begin
+    (* Root LP: solved exactly once, reused both for the reported root
+       bound and as the root node of the search. *)
+    let root_result = solve_node_lp s None in
+    let root_bound =
+      match root_result with
+      | Revised.Optimal { obj; _ } ->
+        (sense_mult *. obj) +. (sense_mult *. Model.objective_constant model)
+      | Revised.Unbounded | Revised.Iteration_limit -> neg_infinity
+      | Revised.Infeasible -> infinity
+    in
+    if root_bound = infinity && s.best_x = None then
+      {
+        status = Infeasible; best = None; nodes = 0; lp_solves = s.lp_solves;
+        warm_hits = s.warm_hits; cold_solves = s.cold_solves;
+        refactorizations = s.refactorizations; pivots = s.pivots;
+        shadow_pivots = s.shadow_pivots; root_bound = nan;
+        elapsed = Unix.gettimeofday () -. start;
+      }
+    else begin
+      s.nodes <- s.nodes + 1;
+      expand s ~depth:0 ~parent_basis:None ~parent_bound:neg_infinity
+        root_result;
+      finish ~root_bound:(sense_mult *. root_bound)
+    end
   end

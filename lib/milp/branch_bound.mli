@@ -2,9 +2,13 @@
 
     This plays the role LINDO plays in the paper (section 3): an exact
     solver for the small MILP subproblems produced by successive
-    augmentation.  Depth-first search over LP relaxations solved by
-    {!Fp_lp.Simplex}, with
+    augmentation.  Depth-first search over LP relaxations solved by the
+    bounded-variable revised simplex {!Fp_lp.Revised}, with
 
+    - basis warm starting: each child node re-solves from its parent's
+      optimal basis via the dual simplex (branching only flips variable
+      bounds, which preserves dual feasibility), with a cold solve as
+      fallback on singular or stale bases;
     - 4-way branching on declared disjunction pairs (the paper's
       [(x_ij, y_ij)] "which side is module i on" variables), children
       ordered by proximity to the LP relaxation point;
@@ -36,13 +40,25 @@ type params = {
                                for speed (default 1e-7) *)
   log : bool;              (** emit progress on [Logs] (default false) *)
   branch_rule : branch_rule;  (** default [Most_fractional] *)
+  warm_lp : bool;
+      (** warm-start child LPs from the parent basis (default [true]);
+          [false] forces a cold solve at every node — used by the
+          warm-start ablation bench *)
+  shadow_cold : bool;
+      (** additionally solve every node LP cold, discarding the answer
+          and accumulating its pivots in [shadow_pivots] (default
+          [false]).  Gives the warm-start ablation a matched-tree
+          comparison: both engines priced on the identical sequence of
+          subproblems, same floorplan by construction.  Roughly doubles
+          node cost; never use outside benchmarking. *)
 }
 
 val default_params : params
 
 type status =
   | Optimal       (** search completed; incumbent is proven optimal *)
-  | Feasible      (** budget exhausted; best incumbent returned *)
+  | Feasible      (** budget exhausted (or a subtree was abandoned without
+                      a bound); best incumbent returned *)
   | Infeasible    (** no integer-feasible point exists *)
   | Unbounded     (** LP relaxation unbounded at the root *)
   | No_solution   (** budget exhausted before any incumbent was found *)
@@ -53,7 +69,20 @@ type outcome = {
       (** incumbent point and objective (original sense, constant
           included) *)
   nodes : int;
+      (** nodes whose LP relaxation was evaluated; always equal to
+          [lp_solves] *)
   lp_solves : int;
+  warm_hits : int;
+      (** node LPs answered from the parent basis (dual-simplex path) *)
+  cold_solves : int;
+      (** node LPs solved from scratch, including warm-start fallbacks *)
+  refactorizations : int;
+      (** basis refactorizations across all node LPs *)
+  pivots : int;
+      (** total simplex pivots (primal + dual) across all node LPs *)
+  shadow_pivots : int;
+      (** pivots the cold engine spent on the same node sequence; [0]
+          unless [shadow_cold] was set *)
   root_bound : float;
       (** LP-relaxation bound at the root, original sense *)
   elapsed : float;

@@ -49,6 +49,28 @@ let add_constr t ?name lhs cmp rhs =
   Lp_problem.add_constr t.prob ?name (Expr.terms diff) cmp
     (-.Expr.constant diff)
 
+let add_constr_or_bound t ?name lhs cmp rhs =
+  let diff = Expr.(lhs - rhs) in
+  let as_row () =
+    Lp_problem.add_constr t.prob ?name (Expr.terms diff) cmp
+      (-.Expr.constant diff)
+  in
+  match Expr.terms diff with
+  | [ (a, v) ] when a <> 0. ->
+    let b = -.Expr.constant diff /. a in
+    let applied =
+      match (cmp, a > 0.) with
+      | Le, true | Ge, false ->
+        Lp_problem.tighten_bounds t.prob v ~lb:neg_infinity ~ub:b
+      | Ge, true | Le, false ->
+        Lp_problem.tighten_bounds t.prob v ~lb:b ~ub:infinity
+      | Eq, _ -> Lp_problem.tighten_bounds t.prob v ~lb:b ~ub:b
+    in
+    (* An empty intersection stays a row so infeasibility is detected by
+       the solver instead of raised here. *)
+    if not applied then as_row ()
+  | _ -> as_row ()
+
 let declare_pair t a b =
   if not (is_binary t a && is_binary t b) then
     invalid_arg "Model.declare_pair: both variables must be binary";

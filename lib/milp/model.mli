@@ -29,6 +29,16 @@ val add_integer : t -> lb:float -> ub:float -> string -> var
 val add_constr : t -> ?name:string -> Expr.t -> cmp -> Expr.t -> unit
 (** [add_constr t lhs cmp rhs]: constants migrate to the right-hand side. *)
 
+val add_constr_or_bound : t -> ?name:string -> Expr.t -> cmp -> Expr.t -> unit
+(** Like {!add_constr}, but a row mentioning a single variable is folded
+    into that variable's bounds ({!Fp_lp.Lp_problem.tighten_bounds})
+    instead of adding a row — the revised simplex then handles it for
+    free instead of carrying it in the basis.  A tightening that would
+    empty the interval is kept as an (infeasible) row so solvers report
+    [Infeasible] normally.  Use for mechanically generated constraints
+    ({!Fp_core.Formulation}); hand-written models usually want the row
+    preserved for diagnostics. *)
+
 val declare_pair : t -> var -> var -> unit
 (** Mark two binaries as a disjunction pair for 4-way branching.
     @raise Invalid_argument if either variable is not binary. *)

@@ -50,6 +50,18 @@ let test_builder_bad_bounds () =
     (Invalid_argument "Lp_problem.add_var x: ub (0) < lb (1)") (fun () ->
       ignore (Lp.add_var p ~lb:1. ~ub:0. "x"))
 
+let test_tighten_bounds () =
+  let p = Lp.create () in
+  let x = Lp.add_var p ~lb:1. ~ub:5. "x" in
+  Alcotest.(check bool) "tightens" true
+    (Lp.tighten_bounds p x ~lb:2. ~ub:7.);
+  checkf "lb" 2. (Lp.var_lb p x);
+  checkf "ub" 5. (Lp.var_ub p x);
+  Alcotest.(check bool) "empty refused" false
+    (Lp.tighten_bounds p x ~lb:6. ~ub:8.);
+  checkf "lb untouched" 2. (Lp.var_lb p x);
+  checkf "ub untouched" 5. (Lp.var_ub p x)
+
 let test_violation () =
   let p = Lp.create () in
   let x = Lp.add_var p ~ub:2. "x" in
@@ -301,6 +313,7 @@ let () =
           Alcotest.test_case "duplicate terms" `Quick test_builder_duplicate_terms;
           Alcotest.test_case "bad var" `Quick test_builder_bad_var;
           Alcotest.test_case "bad bounds" `Quick test_builder_bad_bounds;
+          Alcotest.test_case "tighten bounds" `Quick test_tighten_bounds;
           Alcotest.test_case "violation" `Quick test_violation;
         ] );
       ( "simplex",

@@ -193,6 +193,113 @@ let test_node_limit_returns_feasible () =
   let _, obj = best_exn outcome in
   Alcotest.(check bool) "at least warm" true (obj >= 1. -. 1e-9)
 
+let test_constr_or_bound_folds_singletons () =
+  (* Singleton rows become bounds; multi-term rows stay rows; an empty
+     tightening survives as an infeasible row. *)
+  let m = Model.create () in
+  let x = Model.add_continuous m ~ub:10. "x" in
+  let y = Model.add_continuous m ~ub:10. "y" in
+  Model.add_constr_or_bound m Expr.(2. * var x) Model.Le (Expr.const 8.);
+  Model.add_constr_or_bound m (Expr.var x) Model.Ge (Expr.const 1.);
+  Model.add_constr_or_bound m Expr.(var x + var y) Model.Le (Expr.const 12.);
+  Alcotest.(check int) "only the 2-term row remains" 1 (Model.num_constrs m);
+  let lb, ub = Model.var_bounds m x in
+  checkf "folded lb" 1. lb;
+  checkf "folded ub" 4. ub;
+  Model.add_constr_or_bound m (Expr.var y) Model.Ge (Expr.const 11.);
+  Alcotest.(check int) "empty tightening kept as row" 2 (Model.num_constrs m);
+  Model.set_objective m `Minimize (Expr.var x);
+  let outcome = BB.solve m in
+  Alcotest.(check bool) "infeasible via kept row" true
+    (outcome.BB.status = BB.Infeasible)
+
+let test_budget_accounting_exact () =
+  (* Every counted node evaluates exactly one LP, and every LP is either
+     a warm hit or a cold solve — no double counting anywhere. *)
+  let m = Model.create () in
+  let x = Model.add_integer m ~lb:0. ~ub:10. "x" in
+  let y = Model.add_integer m ~lb:0. ~ub:10. "y" in
+  Model.add_constr m Expr.(var x + (2. * var y)) Model.Ge (Expr.const 7.);
+  Model.set_objective m `Minimize Expr.((3. * var x) + (4. * var y));
+  let outcome = BB.solve m in
+  Alcotest.(check int) "lp_solves = nodes" outcome.BB.nodes
+    outcome.BB.lp_solves;
+  Alcotest.(check int) "warm + cold = lp_solves" outcome.BB.lp_solves
+    (outcome.BB.warm_hits + outcome.BB.cold_solves)
+
+let test_pure_lp_single_solve () =
+  (* The root LP must be solved exactly once, not once for the bound and
+     again for the root node. *)
+  let m = Model.create () in
+  let x = Model.add_continuous m ~ub:4. "x" in
+  Model.set_objective m `Maximize (Expr.var x);
+  let outcome = BB.solve m in
+  Alcotest.(check int) "one node" 1 outcome.BB.nodes;
+  Alcotest.(check int) "one lp solve" 1 outcome.BB.lp_solves
+
+let test_zero_node_limit () =
+  (* With a zero node budget nothing may be solved, not even the root. *)
+  let m = Model.create () in
+  let a = Model.add_binary m "a" in
+  Model.set_objective m `Maximize (Expr.var a);
+  let params = { BB.default_params with BB.node_limit = 0 } in
+  let outcome = BB.solve ~params m in
+  Alcotest.(check int) "no nodes" 0 outcome.BB.nodes;
+  Alcotest.(check int) "no lp solves" 0 outcome.BB.lp_solves;
+  Alcotest.(check bool) "no solution" true
+    (outcome.BB.status = BB.No_solution)
+
+let test_warm_lp_hits_and_ablation () =
+  (* A branched search warm-starts children from the parent basis; with
+     warm_lp disabled every node is a cold solve, and both modes must
+     find the same optimum. *)
+  let build () =
+    let m = Model.create () in
+    let vars =
+      List.init 6 (fun i -> Model.add_binary m (Printf.sprintf "b%d" i))
+    in
+    List.iteri
+      (fun i v ->
+        List.iteri
+          (fun j w ->
+            if j > i && (i + j) mod 2 = 1 then
+              Model.add_constr m
+                Expr.((2. * var v) + (2. * var w))
+                Model.Le (Expr.const 3.))
+          vars)
+      vars;
+    Model.set_objective m `Maximize
+      (Expr.sum
+         (List.mapi
+            (fun i v ->
+              let c = float_of_int (i + 1) in
+              Expr.(c * var v))
+            vars));
+    m
+  in
+  let warm_out = BB.solve (build ()) in
+  let cold_params = { BB.default_params with BB.warm_lp = false } in
+  let cold_out = BB.solve ~params:cold_params (build ()) in
+  let _, warm_obj = best_exn warm_out in
+  let _, cold_obj = best_exn cold_out in
+  checkf "same optimum" cold_obj warm_obj;
+  Alcotest.(check bool) "warm path exercised" true (warm_out.BB.warm_hits > 0);
+  Alcotest.(check int) "no warm hits when disabled" 0 cold_out.BB.warm_hits;
+  Alcotest.(check int) "all cold when disabled" cold_out.BB.lp_solves
+    cold_out.BB.cold_solves;
+  (* Shadow mode prices every node cold on the side without disturbing
+     the search: identical tree and answer, nonzero shadow pivots. *)
+  Alcotest.(check int) "shadow off by default" 0 warm_out.BB.shadow_pivots;
+  let shadow_params = { BB.default_params with BB.shadow_cold = true } in
+  let shadow_out = BB.solve ~params:shadow_params (build ()) in
+  let _, shadow_obj = best_exn shadow_out in
+  checkf "shadow same optimum" warm_obj shadow_obj;
+  Alcotest.(check int) "shadow same tree" warm_out.BB.nodes shadow_out.BB.nodes;
+  Alcotest.(check int) "shadow same warm pivots" warm_out.BB.pivots
+    shadow_out.BB.pivots;
+  Alcotest.(check bool) "shadow cold pivots counted" true
+    (shadow_out.BB.shadow_pivots > 0)
+
 let test_pair_branching_used () =
   (* Exactly-one-of-four via a declared pair: constraints force the combo
      (1, 1); make sure pair branching converges there. *)
@@ -383,6 +490,15 @@ let () =
             test_warm_start_rejected;
           Alcotest.test_case "node limit -> feasible" `Quick
             test_node_limit_returns_feasible;
+          Alcotest.test_case "constr or bound" `Quick
+            test_constr_or_bound_folds_singletons;
+          Alcotest.test_case "budget accounting exact" `Quick
+            test_budget_accounting_exact;
+          Alcotest.test_case "pure LP single solve" `Quick
+            test_pure_lp_single_solve;
+          Alcotest.test_case "zero node limit" `Quick test_zero_node_limit;
+          Alcotest.test_case "warm hits + ablation" `Quick
+            test_warm_lp_hits_and_ablation;
           Alcotest.test_case "pair branching" `Quick test_pair_branching_used;
           Alcotest.test_case "branch rules agree" `Quick test_branch_rules_agree;
           QCheck_alcotest.to_alcotest test_bb_matches_brute_force;
