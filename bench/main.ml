@@ -27,7 +27,22 @@ let out_dir = ref "."
 let quick = ref false
 let json = ref false
 let max_k = ref max_int
+let jobs = ref 1
 let printf = Printf.printf
+let t_start = Unix.gettimeofday ()
+
+(* Git commit id stamped into every JSON record — lets a regression
+   tracker attribute a number to the code that produced it.  "unknown"
+   outside a work tree (e.g. a tarball build). *)
+let commit_id =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+       let line = try input_line ic with End_of_file -> "" in
+       match Unix.close_process_in ic with
+       | Unix.WEXITED 0 when line <> "" -> line
+       | _ -> "unknown"
+     with _ -> "unknown")
 
 (* Minimal JSON emitter — the experiment records are flat enough that a
    dependency-free writer beats pulling in a parser library. *)
@@ -82,11 +97,21 @@ module Json = struct
       Buffer.add_char buf '}'
 end
 
-(* Write BENCH_<exp>.json into the output directory when --json is on. *)
+(* Write BENCH_<exp>.json into the output directory when --json is on.
+   Every record carries provenance: wall clock since harness start, the
+   --jobs setting, and the git commit. *)
 let write_json exp fields =
   if !json then begin
     let path = Filename.concat !out_dir (Printf.sprintf "BENCH_%s.json" exp) in
     let buf = Buffer.create 1024 in
+    let fields =
+      fields
+      @ [
+          ("wall_clock_s", Json.Float (Unix.gettimeofday () -. t_start));
+          ("jobs", Json.Int !jobs);
+          ("commit", Json.Str (Lazy.force commit_id));
+        ]
+    in
     Json.emit buf (Json.Obj (("experiment", Json.Str exp) :: fields));
     Buffer.add_char buf '\n';
     let oc = open_out path in
@@ -126,7 +151,7 @@ let hr title =
   printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 let base_config () =
-  let d = Augment.default_config in
+  let d = { Augment.default_config with Augment.jobs = !jobs } in
   if !quick then
     { d with
       Augment.milp = { d.Augment.milp with BB.node_limit = 500; time_limit = 5. } }
@@ -510,8 +535,67 @@ let ablation_warm_start () =
     sizes;
   write_json "ablation_warm_start" [ ("rows", Json.List (List.rev !rows)) ]
 
+let ablation_parallel () =
+  hr "Ablation -- domain-parallel branch-and-bound (scaling)";
+  printf "(deterministic mode: every jobs count must reproduce the jobs=1\n";
+  printf " floorplan bit-for-bit; speedup saturates at the machine's core\n";
+  printf " count — %d on this host)\n\n"
+    (Domain.recommended_domain_count ());
+  let k =
+    match List.filter (fun k -> k <= 25) (table1_sizes ()) with
+    | [] -> 15
+    | l -> List.fold_left Int.max 0 l
+  in
+  let nl = Fp_data.Instances.table1_instance k in
+  printf "%6s %10s %10s %10s %12s %10s\n" "Jobs" "Height" "Time (s)" "Speedup"
+    "Identical" "Certify";
+  let rows = ref [] and ref_pl = ref None and ref_dt = ref 0. in
+  List.iter
+    (fun j ->
+      let config = { (base_config ()) with Augment.jobs = j } in
+      let t0 = Unix.gettimeofday () in
+      let _, pl = floorplan ~config nl in
+      let dt = Unix.gettimeofday () -. t0 in
+      (match !ref_pl with
+      | None ->
+        ref_pl := Some pl;
+        ref_dt := dt
+      | Some _ -> ());
+      (* Bit-for-bit: deterministic replay promises the identical
+         incumbent at every step, and everything downstream of the MILP
+         is deterministic arithmetic. *)
+      let identical = pl = Option.get !ref_pl in
+      let errors, _, _ =
+        Fp_check.Diagnostic.count (Fp_check.Certify.placement nl pl)
+      in
+      let speedup = !ref_dt /. dt in
+      printf "%6d %10.1f %10.2f %9.2fx %12s %10s\n" j pl.Placement.height dt
+        speedup
+        (if identical then "yes" else "NO")
+        (if errors = 0 then "pass" else "FAIL");
+      rows :=
+        Json.Obj
+          [
+            ("jobs", Json.Int j);
+            ("time_s", Json.Float dt);
+            ("speedup", Json.Float speedup);
+            ("height", Json.Float pl.Placement.height);
+            ("area", Json.Float (Placement.chip_area pl));
+            ("identical_to_jobs1", Json.Bool identical);
+            ("certified", Json.Bool (errors = 0));
+          ]
+        :: !rows)
+    [ 1; 2; 4; 8 ];
+  write_json "ablation_parallel"
+    [
+      ("k", Json.Int k);
+      ("cores", Json.Int (Domain.recommended_domain_count ()));
+      ("rows", Json.List (List.rev !rows));
+    ]
+
 let ablations () =
   ablation_warm_start ();
+  ablation_parallel ();
   ablation_group_size ();
   ablation_covering ();
   ablation_branch_rule ();
@@ -709,7 +793,7 @@ let run_bechamel () =
 let () =
   let run_t1 = ref false and run_t2 = ref false and run_t3 = ref false in
   let run_figs = ref false and run_abl = ref false and run_bch = ref false in
-  let run_chk = ref false in
+  let run_chk = ref false and run_par = ref false in
   let any = ref false in
   let speclist =
     [
@@ -735,6 +819,12 @@ let () =
       ( "--check",
         Arg.Unit (fun () -> any := true; run_chk := true),
         "  report lint findings + certification time per step" );
+      ( "--ablation-parallel",
+        Arg.Unit (fun () -> any := true; run_par := true),
+        "  run only the domain-parallel scaling ablation" );
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N  worker domains for every floorplan run (default 1)" );
       ("--quick", Arg.Set quick, "  reduced MILP budgets (fast, lower quality)");
       ( "--json",
         Arg.Set json,
@@ -762,6 +852,7 @@ let () =
   if !run_t3 then table3 ();
   if !run_figs then figures ();
   if !run_abl then ablations ();
+  if !run_par && not !run_abl then ablation_parallel ();
   if !run_chk then check_overhead ();
   if !run_bch then run_bechamel ();
   printf "\ndone.\n"

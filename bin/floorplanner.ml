@@ -93,6 +93,19 @@ let nodes_arg =
        & info [ "nodes" ] ~docv:"N"
            ~doc:"Branch-and-bound node budget per augmentation step.")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the MILP search (deterministic: the \
+                 floorplan is identical for every $(docv)).")
+
+let candidates_arg =
+  Arg.(value & opt int 1
+       & info [ "candidates" ] ~docv:"N"
+           ~doc:"Candidate next groups evaluated concurrently per \
+                 augmentation step; the one with the lowest skyline is \
+                 committed.")
+
 let refine_arg =
   Arg.(value & flag
        & info [ "refine" ]
@@ -111,7 +124,8 @@ let svg_arg =
 let ascii_arg =
   Arg.(value & flag & info [ "ascii" ] ~doc:"Print an ASCII rendering.")
 
-let config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed =
+let config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed ~jobs
+    ~candidates =
   let d = Augment.default_config in
   {
     d with
@@ -131,6 +145,8 @@ let config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed =
         (fun pitch -> { Augment.pitch_h = pitch; pitch_v = pitch; share = 0.5 })
         envelope;
     milp = { d.Augment.milp with BB.node_limit = nodes };
+    jobs;
+    candidates;
   }
 
 (* ------------------------------ checking ----------------------------- *)
@@ -220,7 +236,7 @@ let report_plan nl pl dt =
 
 let plan_cmd =
   let run input ami33 random seed verbose width group ordering wire envelope
-      nodes refine slicing svg ascii lint =
+      nodes jobs candidates refine slicing svg ascii lint =
     setup_logs verbose;
     match load_instance input ami33 random seed with
     | Error e ->
@@ -228,7 +244,8 @@ let plan_cmd =
       1
     | Ok nl ->
       let config =
-        config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed
+        config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed ~jobs
+          ~candidates
       in
       let findings = ref [] in
       let config =
@@ -270,8 +287,8 @@ let plan_cmd =
     Term.(
       const run $ input_arg $ ami33_arg $ random_arg $ seed_arg $ verbose_arg
       $ width_arg $ group_arg $ ordering_arg $ objective_arg $ envelope_arg
-      $ nodes_arg $ refine_arg $ slicing_arg $ svg_arg $ ascii_arg
-      $ lint_arg)
+      $ nodes_arg $ jobs_arg $ candidates_arg $ refine_arg $ slicing_arg
+      $ svg_arg $ ascii_arg $ lint_arg)
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Floorplan an instance by successive augmentation")
@@ -293,7 +310,7 @@ let route_cmd =
          & info [ "penalty-off" ] ~doc:"Use the unweighted shortest path.")
   in
   let run input ami33 random seed verbose width group ordering wire envelope
-      nodes pitch penalty penalty_off svg lint =
+      nodes jobs candidates pitch penalty penalty_off svg lint =
     setup_logs verbose;
     match load_instance input ami33 random seed with
     | Error e ->
@@ -301,7 +318,8 @@ let route_cmd =
       1
     | Ok nl ->
       let config =
-        config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed
+        config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed ~jobs
+          ~candidates
       in
       let findings = ref [] in
       let config =
@@ -344,8 +362,8 @@ let route_cmd =
     Term.(
       const run $ input_arg $ ami33_arg $ random_arg $ seed_arg $ verbose_arg
       $ width_arg $ group_arg $ ordering_arg $ objective_arg $ envelope_arg
-      $ nodes_arg $ pitch_arg $ weighted_arg $ penalty_off_arg $ svg_arg
-      $ lint_arg)
+      $ nodes_arg $ jobs_arg $ candidates_arg $ pitch_arg $ weighted_arg
+      $ penalty_off_arg $ svg_arg $ lint_arg)
   in
   Cmd.v
     (Cmd.info "route"
@@ -361,7 +379,7 @@ let check_cmd =
                    instead of the human-readable report.")
   in
   let run input ami33 random seed verbose width group ordering wire envelope
-      nodes machine =
+      nodes jobs candidates machine =
     setup_logs verbose;
     match load_instance input ami33 random seed with
     | Error e ->
@@ -369,7 +387,8 @@ let check_cmd =
       1
     | Ok nl ->
       let config =
-        config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed
+        config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed ~jobs
+          ~candidates
       in
       let findings = ref [] in
       let config =
@@ -385,7 +404,7 @@ let check_cmd =
     Term.(
       const run $ input_arg $ ami33_arg $ random_arg $ seed_arg $ verbose_arg
       $ width_arg $ group_arg $ ordering_arg $ objective_arg $ envelope_arg
-      $ nodes_arg $ machine_arg)
+      $ nodes_arg $ jobs_arg $ candidates_arg $ machine_arg)
   in
   Cmd.v
     (Cmd.info "check"

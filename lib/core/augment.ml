@@ -6,6 +6,7 @@ module Netlist = Fp_netlist.Netlist
 module Module_def = Fp_netlist.Module_def
 module Ordering = Fp_netlist.Ordering
 module Branch_bound = Fp_milp.Branch_bound
+module Pool = Fp_util.Pool
 
 let src = Logs.Src.create "fp.augment" ~doc:"successive augmentation"
 
@@ -29,6 +30,7 @@ type step_stat = {
   warm_height : float;
   step_height : float;
   step_time : float;
+  candidates_evaluated : int;
 }
 
 type inspect = {
@@ -51,6 +53,8 @@ type config = {
   milp : Branch_bound.params;
   check : bool;
   inspect : inspect option;
+  jobs : int;
+  candidates : int;
 }
 
 let default_config =
@@ -76,6 +80,8 @@ let default_config =
       };
     check = false;
     inspect = None;
+    jobs = 1;
+    candidates = 1;
   }
 
 type result = {
@@ -156,11 +162,133 @@ let obstacles_of cfg skyline placement =
   end
   else Placement.envelopes placement
 
+(* Everything one candidate evaluation produces.  Evaluation is pure
+   with respect to the partial floorplan — [Placement], [Skyline] and
+   [Formulation.build] are functional — so several candidates can be
+   evaluated concurrently against the same snapshot and at most one
+   committed. *)
+type eval = {
+  e_group : int list;
+  e_built : Formulation.built;
+  e_num_obstacles : int;
+  e_outcome : Branch_bound.outcome;
+  e_warm_height : float;
+  e_placement : Placement.t;
+  e_skyline : Skyline.t;
+}
+
+let evaluate cfg nl ~chip_width ~skyline ~placement ~pool ~milp group =
+  (* Largest modules first: their pair binaries are declared first, so
+     First_fractional branching decides the big shapes early. *)
+  let group =
+    List.sort
+      (fun a b ->
+        compare
+          (Module_def.area (Netlist.module_at nl b))
+          (Module_def.area (Netlist.module_at nl a)))
+      group
+  in
+  let items = Array.of_list (items_of_group cfg nl group) in
+  let ids = Array.of_list group in
+  let obstacles = obstacles_of cfg skyline placement in
+  let height_bound =
+    Skyline.max_height skyline
+    +. Array.fold_left
+         (fun a it ->
+           a
+           +. item_max_height ~allow_rotation:cfg.allow_rotation
+                ~linearization:cfg.linearization it)
+         0. items
+    +. 1.
+  in
+  (* Warm start: greedy bottom-left packing on the profile of the
+     obstacles actually passed to the MILP.  This must NOT be the
+     placed-module skyline: coarsened covering rectangles are hulls
+     that can protrude above it, and a warm placement on the lower
+     profile would overlap them. *)
+  let obstacle_sky =
+    List.fold_left Skyline.add_rect (Skyline.create ~width:chip_width) obstacles
+  in
+  let warm =
+    Warm_start.place_group ~skyline:obstacle_sky
+      ~allow_rotation:cfg.allow_rotation ~linearization:cfg.linearization items
+  in
+  let warm_height = Warm_start.height_after ~skyline:obstacle_sky warm in
+  let wire_context =
+    match (cfg.objective, cfg.critical_net_bound) with
+    | Formulation.Min_height, None -> None
+    | Formulation.Min_height_plus_wire _, _ | _, Some _ ->
+      (* Length bounds need the net bounding-box variables too. *)
+      Some (nl, placement, ids)
+  in
+  let built =
+    Formulation.build ~chip_width ~height_bound ~objective:cfg.objective
+      ~allow_rotation:cfg.allow_rotation ~linearization:cfg.linearization
+      ~fixed:obstacles ?wire_context ?net_length_bound:cfg.critical_net_bound
+      ~check:cfg.check (Array.to_list items)
+  in
+  let warm_sol =
+    (* The warm placement avoids the obstacles by construction; if
+       numerics still reject it, search without an incumbent rather
+       than aborting the run. *)
+    match
+      Formulation.assign_warm built
+        (fun k -> warm.(k).Warm_start.envelope)
+        ~rotated:(fun k -> warm.(k).Warm_start.rotated)
+    with
+    | sol -> Some sol
+    | exception Invalid_argument msg ->
+      Log.warn (fun f -> f "warm start unusable: %s" msg);
+      None
+  in
+  let outcome =
+    Branch_bound.solve ~params:milp ?warm:warm_sol ?pool
+      built.Formulation.model
+  in
+  let sol =
+    match (outcome.Branch_bound.best, warm_sol) with
+    | Some (x, _), _ -> x
+    | None, Some w ->
+      Log.warn (fun f ->
+          f "MILP step found no solution; falling back to warm start");
+      w
+    | None, None ->
+      (* Last resort: trust the geometric warm placement even though
+         the model rejected its encoding. *)
+      Log.err (fun f -> f "MILP step failed outright; using raw warm packing");
+      Formulation.assign_warm built
+        (fun k -> warm.(k).Warm_start.envelope)
+        ~rotated:(fun k -> warm.(k).Warm_start.rotated)
+  in
+  let extracted = Formulation.extract built sol in
+  let placement = ref placement in
+  Array.iteri
+    (fun k (envelope, silicon, rotated) ->
+      placement :=
+        Placement.add !placement
+          { Placement.module_id = ids.(k); rect = silicon; envelope; rotated })
+    extracted;
+  if cfg.compact_each_step then placement := Compact.vertical !placement;
+  let skyline =
+    Skyline.of_rects ~width:chip_width (Placement.envelopes !placement)
+  in
+  {
+    e_group = group;
+    e_built = built;
+    e_num_obstacles = List.length obstacles;
+    e_outcome = outcome;
+    e_warm_height = warm_height;
+    e_placement = !placement;
+    e_skyline = skyline;
+  }
+
 let run ?(config = default_config) nl =
   let cfg = config in
   if Netlist.num_modules nl = 0 then
     invalid_arg "Augment.run: empty instance";
   if cfg.group_size < 1 then invalid_arg "Augment.run: group_size < 1";
+  if cfg.jobs < 1 then invalid_arg "Augment.run: jobs < 1";
+  if cfg.candidates < 1 then invalid_arg "Augment.run: candidates < 1";
   let t0 = Unix.gettimeofday () in
   let chip_width =
     match cfg.chip_width with
@@ -169,116 +297,68 @@ let run ?(config = default_config) nl =
   in
   let order = ordering_of cfg nl in
   let groups = Ordering.groups ~size:cfg.group_size order in
+  let with_pool k =
+    if cfg.jobs > 1 then Pool.with_pool ~jobs:cfg.jobs (fun p -> k (Some p))
+    else k None
+  in
+  with_pool @@ fun pool ->
   let skyline = ref (Skyline.create ~width:chip_width) in
   let placement = ref (Placement.empty ~chip_width) in
   let steps = ref [] in
-  List.iter
-    (fun group ->
+  let rec augment remaining =
+    match remaining with
+    | [] -> ()
+    | _ :: _ ->
       let step_start = Unix.gettimeofday () in
-      (* Largest modules first: their pair binaries are declared first, so
-         First_fractional branching decides the big shapes early. *)
-      let group =
-        List.sort
-          (fun a b ->
-            compare
-              (Module_def.area (Netlist.module_at nl b))
-              (Module_def.area (Netlist.module_at nl a)))
-          group
+      let n_cand = Int.min cfg.candidates (List.length remaining) in
+      let cands =
+        Array.of_list (List.filteri (fun i _ -> i < n_cand) remaining)
       in
-      let items = Array.of_list (items_of_group cfg nl group) in
-      let ids = Array.of_list group in
-      let obstacles = obstacles_of cfg !skyline !placement in
-      let height_bound =
-        Skyline.max_height !skyline
-        +. Array.fold_left
-             (fun a it ->
-               a
-               +. item_max_height ~allow_rotation:cfg.allow_rotation
-                    ~linearization:cfg.linearization it)
-             0. items
-        +. 1.
+      let evals =
+        if n_cand = 1 then
+          (* Single candidate: all the parallelism goes into the MILP
+             itself, which shares the run-wide pool. *)
+          [| evaluate cfg nl ~chip_width ~skyline:!skyline
+               ~placement:!placement ~pool ~milp:cfg.milp cands.(0) |]
+        else begin
+          (* Several candidates: one per pool task, each MILP sequential
+             inside its task — pool batches must not nest. *)
+          let milp = { cfg.milp with Branch_bound.jobs = 1 } in
+          let eval1 k =
+            evaluate cfg nl ~chip_width ~skyline:!skyline
+              ~placement:!placement ~pool:None ~milp cands.(k)
+          in
+          match pool with
+          | Some p -> Pool.map p ~n:n_cand (fun ~worker:_ k -> eval1 k)
+          | None -> Array.init n_cand eval1
+        end
       in
-      (* Warm start: greedy bottom-left packing on the profile of the
-         obstacles actually passed to the MILP.  This must NOT be the
-         placed-module skyline: coarsened covering rectangles are hulls
-         that can protrude above it, and a warm placement on the lower
-         profile would overlap them. *)
-      let obstacle_sky =
-        List.fold_left Skyline.add_rect
-          (Skyline.create ~width:chip_width)
-          obstacles
-      in
-      let warm =
-        Warm_start.place_group ~skyline:obstacle_sky
-          ~allow_rotation:cfg.allow_rotation
-          ~linearization:cfg.linearization items
-      in
-      let warm_height = Warm_start.height_after ~skyline:obstacle_sky warm in
-      let wire_context =
-        match (cfg.objective, cfg.critical_net_bound) with
-        | Formulation.Min_height, None -> None
-        | Formulation.Min_height_plus_wire _, _ | _, Some _ ->
-          (* Length bounds need the net bounding-box variables too. *)
-          Some (nl, !placement, ids)
-      in
-      let built =
-        Formulation.build ~chip_width ~height_bound ~objective:cfg.objective
-          ~allow_rotation:cfg.allow_rotation
-          ~linearization:cfg.linearization ~fixed:obstacles ?wire_context
-          ?net_length_bound:cfg.critical_net_bound ~check:cfg.check
-          (Array.to_list items)
-      in
-      Option.iter (fun i -> i.on_model built) cfg.inspect;
-      let warm_sol =
-        (* The warm placement avoids the obstacles by construction; if
-           numerics still reject it, search without an incumbent rather
-           than aborting the run. *)
-        match
-          Formulation.assign_warm built
-            (fun k -> warm.(k).Warm_start.envelope)
-            ~rotated:(fun k -> warm.(k).Warm_start.rotated)
-        with
-        | sol -> Some sol
-        | exception Invalid_argument msg ->
-          Log.warn (fun f -> f "warm start unusable: %s" msg);
-          None
-      in
-      let outcome =
-        Branch_bound.solve ~params:cfg.milp ?warm:warm_sol
-          built.Formulation.model
-      in
-      let sol =
-        match (outcome.Branch_bound.best, warm_sol) with
-        | Some (x, _), _ -> x
-        | None, Some w ->
-          Log.warn (fun f ->
-              f "MILP step found no solution; falling back to warm start");
-          w
-        | None, None ->
-          (* Last resort: trust the geometric warm placement even though
-             the model rejected its encoding. *)
-          Log.err (fun f -> f "MILP step failed outright; using raw warm packing");
-          Formulation.assign_warm built
-            (fun k -> warm.(k).Warm_start.envelope)
-            ~rotated:(fun k -> warm.(k).Warm_start.rotated)
-      in
-      let extracted = Formulation.extract built sol in
+      (* Commit the candidate with the lowest resulting skyline; ties go
+         to the earliest candidate in the ordering, so the choice is
+         independent of how the pool scheduled the evaluations. *)
+      let best = ref 0 in
       Array.iteri
-        (fun k (envelope, silicon, rotated) ->
-          placement :=
-            Placement.add !placement
-              { Placement.module_id = ids.(k); rect = silicon; envelope;
-                rotated })
-        extracted;
-      if cfg.compact_each_step then placement := Compact.vertical !placement;
-      skyline :=
-        Skyline.of_rects ~width:chip_width (Placement.envelopes !placement);
+        (fun i e ->
+          if
+            Skyline.max_height e.e_skyline
+            < Skyline.max_height evals.(!best).e_skyline
+          then best := i)
+        evals;
+      let e = evals.(!best) in
+      (* Hooks observe only the committed candidate: they run on the
+         calling domain, after selection. *)
+      Option.iter (fun i -> i.on_model e.e_built) cfg.inspect;
+      placement := e.e_placement;
+      skyline := e.e_skyline;
+      let outcome = e.e_outcome in
       let stat =
         {
-          group;
-          num_integer_vars = Fp_milp.Model.num_integer_vars built.Formulation.model;
-          num_constraints = Fp_milp.Model.num_constrs built.Formulation.model;
-          num_cover_rects = List.length obstacles;
+          group = e.e_group;
+          num_integer_vars =
+            Fp_milp.Model.num_integer_vars e.e_built.Formulation.model;
+          num_constraints =
+            Fp_milp.Model.num_constrs e.e_built.Formulation.model;
+          num_cover_rects = e.e_num_obstacles;
           milp_status = outcome.Branch_bound.status;
           nodes = outcome.Branch_bound.nodes;
           lp_solves = outcome.Branch_bound.lp_solves;
@@ -287,19 +367,22 @@ let run ?(config = default_config) nl =
           pivots = outcome.Branch_bound.pivots;
           shadow_pivots = outcome.Branch_bound.shadow_pivots;
           refactorizations = outcome.Branch_bound.refactorizations;
-          warm_height;
+          warm_height = e.e_warm_height;
           step_height = Skyline.max_height !skyline;
           step_time = Unix.gettimeofday () -. step_start;
+          candidates_evaluated = n_cand;
         }
       in
       Log.info (fun f ->
           f "step [%s]: %d ints, %d rows, %d covers, %d nodes, h=%.2f (warm %.2f)"
-            (String.concat "," (List.map string_of_int group))
+            (String.concat "," (List.map string_of_int stat.group))
             stat.num_integer_vars stat.num_constraints stat.num_cover_rects
             stat.nodes stat.step_height stat.warm_height);
       Option.iter (fun i -> i.on_step stat !placement) cfg.inspect;
-      steps := stat :: !steps)
-    groups;
+      steps := stat :: !steps;
+      augment (List.filteri (fun i _ -> i <> !best) remaining)
+  in
+  augment groups;
   {
     placement = !placement;
     steps = List.rev !steps;

@@ -44,13 +44,18 @@ type step_stat = {
   refactorizations : int;        (** basis refactorizations across node LPs *)
   warm_height : float;           (** bottom-left incumbent height *)
   step_height : float;           (** chip height after this step *)
-  step_time : float;             (** seconds *)
+  step_time : float;             (** seconds, including rejected candidates *)
+  candidates_evaluated : int;
+      (** candidate groups whose MILPs were solved this step; the stats
+          above describe only the committed one *)
 }
 
 type inspect = {
   on_model : Formulation.built -> unit;
-      (** Called with every step's formulation before it is solved —
-          lint hook. *)
+      (** Called with every {e committed} step's formulation — lint
+          hook.  Rejected candidate formulations are not observed, and
+          the call happens after candidate selection (hooks always run
+          on the calling domain). *)
   on_step : step_stat -> Placement.t -> unit;
       (** Called after every augmentation step with the step's stats and
           the partial placement it produced — certification hook. *)
@@ -92,12 +97,30 @@ type config = {
       (** run {!Formulation.self_check} on every step's model (raises on
           a structurally broken formulation) *)
   inspect : inspect option;  (** observation hooks; [None] by default *)
+  jobs : int;
+      (** worker domains for the whole run (default [1]).  One
+          {!Fp_util.Pool} is created up front and shared by every step:
+          with [candidates = 1] it parallelizes each step's MILP search
+          (see {!Fp_milp.Branch_bound}); with [candidates > 1] it
+          evaluates candidate groups concurrently, one per domain.  The
+          result is identical for every [jobs] value as long as
+          [milp.deterministic] is on (the default). *)
+  candidates : int;
+      (** candidate next groups evaluated per step (default [1]).  The
+          first [candidates] groups of the remaining ordering are each
+          formulated and solved against the same partial floorplan; the
+          one yielding the lowest skyline is committed (ties go to the
+          earliest in the ordering) and the rest return to the queue.
+          Changes the greedy search — results differ from
+          [candidates = 1] by construction — but stays deterministic for
+          a fixed config. *)
 }
 
 val default_config : config
 (** group size 4, linear ordering, area objective, rotation on, secant
     linearization, covering on, no envelopes, MILP budget 4000 nodes /
-    20 s per step, no checks, no hooks. *)
+    20 s per step, no checks, no hooks, sequential ([jobs = 1],
+    [candidates = 1]). *)
 
 type result = {
   placement : Placement.t;

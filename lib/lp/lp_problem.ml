@@ -32,6 +32,15 @@ let create ?(name = "lp") () =
 
 let name t = t.pname
 
+(* Rows are immutable records, so sharing them is safe; vinfo records are
+   mutable and must be duplicated. *)
+let copy t =
+  {
+    t with
+    vars = Array.map (fun vi -> { vi with vname = vi.vname }) t.vars;
+    rows = Array.copy t.rows;
+  }
+
 let grow_vars t =
   let cap = Array.length t.vars in
   if t.nvars >= cap then begin

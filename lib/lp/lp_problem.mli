@@ -30,6 +30,11 @@ type t
 
 val create : ?name:string -> unit -> t
 
+val copy : t -> t
+(** Independent copy: mutating the copy's bounds, objective, or rows
+    never affects the original.  Used by the parallel branch-and-bound to
+    give each domain its own problem to re-bound during search. *)
+
 val name : t -> string
 
 val add_var :

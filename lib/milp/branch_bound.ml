@@ -1,5 +1,6 @@
 module Lp_problem = Fp_lp.Lp_problem
 module Revised = Fp_lp.Revised
+module Pool = Fp_util.Pool
 
 let src = Logs.Src.create "fp.milp" ~doc:"branch-and-bound"
 
@@ -16,6 +17,9 @@ type params = {
   branch_rule : branch_rule;
   warm_lp : bool;
   shadow_cold : bool;
+  jobs : int;
+  deterministic : bool;
+  ramp_nodes : int;
 }
 
 let default_params =
@@ -28,9 +32,22 @@ let default_params =
     branch_rule = Most_fractional;
     warm_lp = true;
     shadow_cold = false;
+    jobs = 1;
+    deterministic = true;
+    ramp_nodes = 32;
   }
 
 type status = Optimal | Feasible | Infeasible | Unbounded | No_solution
+
+type domain_work = {
+  d_nodes : int;
+  d_lp_solves : int;
+  d_warm_hits : int;
+  d_cold_solves : int;
+  d_refactorizations : int;
+  d_pivots : int;
+  d_shadow_pivots : int;
+}
 
 type outcome = {
   status : status;
@@ -44,6 +61,44 @@ type outcome = {
   shadow_pivots : int;
   root_bound : float;
   elapsed : float;
+  per_domain : domain_work array;
+  frontier_tasks : int;
+  waves : int;
+}
+
+(* Incumbent shared across domains in free-running mode.  The atomic
+   holds the minimized-form objective; the witness point sits behind a
+   mutex because it is updated rarely and read once at the end. *)
+type shared = {
+  sh_best : float Atomic.t;
+  sh_lock : Mutex.t;
+  mutable sh_x : (float array * float) option;
+  sh_nodes : int Atomic.t;  (* global node count toward [node_limit] *)
+}
+
+let rec publish_shared sh x m =
+  let cur = Atomic.get sh.sh_best in
+  if m < cur then begin
+    if Atomic.compare_and_set sh.sh_best cur m then begin
+      Mutex.lock sh.sh_lock;
+      (match sh.sh_x with
+      | Some (_, m') when m' <= m -> ()
+      | _ -> sh.sh_x <- Some (Array.copy x, m));
+      Mutex.unlock sh.sh_lock
+    end
+    else publish_shared sh x m
+  end
+
+(* A subtree handed to the pool: the accumulated variable-bound settings
+   from the root (absolute values, root-first, later entries override
+   earlier ones for the same variable), plus the parent's LP bound and
+   basis snapshot ({!Revised.snapshot} is immutable, so sharing it across
+   domains is safe — each domain refactorizes it into its own {!Basis}). *)
+type task = {
+  t_trail : (int * float * float) list;
+  t_depth : int;
+  t_basis : Revised.snapshot option;
+  t_bound : float;
 }
 
 type search = {
@@ -53,6 +108,10 @@ type search = {
   sense_mult : float;           (* +1 minimize, -1 maximize *)
   partner : (int, int) Hashtbl.t; (* pair membership, symmetric *)
   deadline : float;
+  shared : shared option;       (* free-running mode only *)
+  mutable node_budget : int;    (* this search stops at [nodes >= node_budget] *)
+  mutable capture : (task -> unit) option;
+  mutable ramp_limit : int;     (* capture instead of exploring beyond this *)
   mutable nodes : int;
   mutable lp_solves : int;
   mutable warm_hits : int;
@@ -92,10 +151,21 @@ let pick_branch_var s x =
       (fun v -> fractionality x v > s.prm.int_tol)
       (Model.integer_vars s.model)
 
+(* The pruning bound: the local incumbent, sharpened by the cross-domain
+   incumbent in free-running mode.  Sequential and deterministic
+   searches have [shared = None], where this is exactly [best_m]. *)
+let cutoff s =
+  match s.shared with
+  | None -> s.best_m
+  | Some sh -> Float.min s.best_m (Atomic.get sh.sh_best)
+
 let update_incumbent s x m =
-  if m < s.best_m -. s.prm.min_improvement then begin
+  if m < cutoff s -. s.prm.min_improvement then begin
     s.best_m <- m;
     s.best_x <- Some (Array.copy x);
+    (match s.shared with
+    | Some sh -> publish_shared sh x m
+    | None -> ());
     if s.prm.log then
       Log.info (fun f ->
           f "incumbent %.6g after %d nodes" (s.sense_mult *. m) s.nodes)
@@ -117,7 +187,11 @@ let with_bounds s settings k =
     k
 
 let budget_exhausted s =
-  s.nodes >= s.prm.node_limit || Unix.gettimeofday () > s.deadline
+  s.nodes >= s.node_budget
+  || (match s.shared with
+     | Some sh -> Atomic.get sh.sh_nodes >= s.prm.node_limit
+     | None -> false)
+  || Unix.gettimeofday () > s.deadline
 
 (* One LP relaxation: warm-start from the parent's optimal basis via the
    dual simplex when available (bound-only changes keep it dual
@@ -159,15 +233,32 @@ let pseudo_point s =
       else if ub < infinity then ub -. 0.5
       else 0.5)
 
-let rec explore s ~depth ~parent_basis ~parent_bound =
-  if budget_exhausted s then s.out_of_budget <- true
-  else begin
-    s.nodes <- s.nodes + 1;
-    expand s ~depth ~parent_basis ~parent_bound
-      (solve_node_lp s parent_basis)
-  end
+(* [trail] is the accumulated bound-setting path from the root, newest
+   first; it only matters while a capture hook is installed (parallel
+   ramp-up), where it lets a pending subtree be replayed on another
+   domain's copy of the problem. *)
+let rec explore s ~depth ~trail ~parent_basis ~parent_bound =
+  match s.capture with
+  | Some push when s.nodes >= s.ramp_limit ->
+    (* Ramp-up budget spent: hand the whole pending subtree to the pool
+       instead of exploring it.  Captures happen in DFS order, so task
+       order is exactly the order the sequential search would have
+       visited the subtrees in. *)
+    push
+      { t_trail = List.rev trail; t_depth = depth; t_basis = parent_basis;
+        t_bound = parent_bound }
+  | _ ->
+    if budget_exhausted s then s.out_of_budget <- true
+    else begin
+      s.nodes <- s.nodes + 1;
+      (match s.shared with
+      | Some sh -> Atomic.incr sh.sh_nodes
+      | None -> ());
+      expand s ~depth ~trail ~parent_basis ~parent_bound
+        (solve_node_lp s parent_basis)
+    end
 
-and expand s ~depth ~parent_basis ~parent_bound result =
+and expand s ~depth ~trail ~parent_basis ~parent_bound result =
   match result with
   | Revised.Infeasible -> ()
   | Revised.Iteration_limit ->
@@ -176,14 +267,14 @@ and expand s ~depth ~parent_basis ~parent_bound result =
        it if possible, otherwise branch blind and keep going — only
        when the node is fully fixed must the subtree be abandoned, and
        then optimality can no longer be claimed. *)
-    if parent_bound >= s.best_m -. s.prm.min_improvement then ()
+    if parent_bound >= cutoff s -. s.prm.min_improvement then ()
     else begin
       Log.warn (fun f ->
           f "LP iteration limit at depth %d; retreating to parent bound"
             depth);
       let x = pseudo_point s in
       match pick_branch_var s x with
-      | Some v -> branch s ~depth x v ~basis:parent_basis ~bound:parent_bound
+      | Some v -> branch s ~depth ~trail x v ~basis:parent_basis ~bound:parent_bound
       | None -> s.bound_incomplete <- true
     end
   | Revised.Unbounded ->
@@ -192,7 +283,7 @@ and expand s ~depth ~parent_basis ~parent_bound result =
        bounded this cannot happen. *)
   | Revised.Optimal { x; obj; basis } ->
     let m = s.sense_mult *. (obj +. Model.objective_constant s.model) in
-    if m >= s.best_m -. s.prm.min_improvement then () (* bound prune *)
+    if m >= cutoff s -. s.prm.min_improvement then () (* bound prune *)
     else begin
       match pick_branch_var s x with
       | None ->
@@ -208,10 +299,16 @@ and expand s ~depth ~parent_basis ~parent_bound result =
         if Lp_problem.constraint_violation s.prob snapped <= 1e-5 then
           update_incumbent s snapped m_exact
         else update_incumbent s x m
-      | Some v -> branch s ~depth x v ~basis:(Some basis) ~bound:m
+      | Some v -> branch s ~depth ~trail x v ~basis:(Some basis) ~bound:m
     end
 
-and branch s ~depth x v ~basis ~bound =
+and branch s ~depth ~trail x v ~basis ~bound =
+  let child settings =
+    with_bounds s settings (fun () ->
+        explore s ~depth:(depth + 1)
+          ~trail:(List.rev_append settings trail)
+          ~parent_basis:basis ~parent_bound:bound)
+  in
   match Hashtbl.find_opt s.partner v with
   | Some w when fractionality x v > s.prm.int_tol
              || fractionality x w > s.prm.int_tol ->
@@ -225,27 +322,16 @@ and branch s ~depth x v ~basis ~bound =
     in
     List.iter
       (fun (a, b) ->
-        if not s.out_of_budget then
-          with_bounds s
-            [ (v, a, a); (w, b, b) ]
-            (fun () ->
-              explore s ~depth:(depth + 1) ~parent_basis:basis
-                ~parent_bound:bound))
+        if not s.out_of_budget then child [ (v, a, a); (w, b, b) ])
       ordered
   | _ ->
     (* Plain floor/ceil split, nearest side first. *)
     let lo = Float.floor x.(v) and hi = Float.ceil x.(v) in
     let lb = Lp_problem.var_lb s.prob v and ub = Lp_problem.var_ub s.prob v in
     let down () =
-      if lo >= lb -. 1e-9 && not s.out_of_budget then
-        with_bounds s [ (v, lb, lo) ] (fun () ->
-            explore s ~depth:(depth + 1) ~parent_basis:basis
-              ~parent_bound:bound)
+      if lo >= lb -. 1e-9 && not s.out_of_budget then child [ (v, lb, lo) ]
     and up () =
-      if hi <= ub +. 1e-9 && not s.out_of_budget then
-        with_bounds s [ (v, hi, ub) ] (fun () ->
-            explore s ~depth:(depth + 1) ~parent_basis:basis
-              ~parent_bound:bound)
+      if hi <= ub +. 1e-9 && not s.out_of_budget then child [ (v, hi, ub) ]
     in
     if x.(v) -. lo <= hi -. x.(v) then begin
       down ();
@@ -256,7 +342,241 @@ and branch s ~depth x v ~basis ~bound =
       down ()
     end
 
-let solve ?(params = default_params) ?warm model =
+let work_of s =
+  {
+    d_nodes = s.nodes; d_lp_solves = s.lp_solves; d_warm_hits = s.warm_hits;
+    d_cold_solves = s.cold_solves; d_refactorizations = s.refactorizations;
+    d_pivots = s.pivots; d_shadow_pivots = s.shadow_pivots;
+  }
+
+let sum_work ws =
+  Array.fold_left
+    (fun a w ->
+      {
+        d_nodes = a.d_nodes + w.d_nodes;
+        d_lp_solves = a.d_lp_solves + w.d_lp_solves;
+        d_warm_hits = a.d_warm_hits + w.d_warm_hits;
+        d_cold_solves = a.d_cold_solves + w.d_cold_solves;
+        d_refactorizations = a.d_refactorizations + w.d_refactorizations;
+        d_pivots = a.d_pivots + w.d_pivots;
+        d_shadow_pivots = a.d_shadow_pivots + w.d_shadow_pivots;
+      })
+    { d_nodes = 0; d_lp_solves = 0; d_warm_hits = 0; d_cold_solves = 0;
+      d_refactorizations = 0; d_pivots = 0; d_shadow_pivots = 0 }
+    ws
+
+(* ------------------------------------------------------------------ *)
+(* Parallel task execution                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* What one subtree exploration reported, and under which contract
+   (starting incumbent + node budget) it ran — the deterministic replay
+   decides from the contract whether the speculation is admissible. *)
+type task_result = {
+  r_entry : float;
+  r_budget : int;
+  r_found : (float array * float) option;   (* minimized form *)
+  r_nodes : int;
+  r_hit_nodes : bool;
+  r_hit_time : bool;
+  r_bound_incomplete : bool;
+}
+
+(* Run one captured subtree on worker state [s] (its own problem copy):
+   apply the trail, explore, restore the trail's variables from the root
+   bounds.  Pure function of (task, entry, budget) apart from the wall
+   clock and, in free-running mode, the shared incumbent. *)
+let run_task s ~base_lb ~base_ub task ~entry ~budget =
+  s.best_m <- entry;
+  s.best_x <- None;
+  s.out_of_budget <- false;
+  s.bound_incomplete <- false;
+  let nodes_before = s.nodes in
+  s.node_budget <- s.nodes + budget;
+  List.iter
+    (fun (v, lb, ub) -> Lp_problem.set_bounds s.prob v ~lb ~ub)
+    task.t_trail;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (v, _, _) ->
+          Lp_problem.set_bounds s.prob v ~lb:base_lb.(v) ~ub:base_ub.(v))
+        task.t_trail)
+    (fun () ->
+      explore s ~depth:task.t_depth ~trail:[] ~parent_basis:task.t_basis
+        ~parent_bound:task.t_bound);
+  let nodes_used = s.nodes - nodes_before in
+  {
+    r_entry = entry;
+    r_budget = budget;
+    r_found =
+      (match s.best_x with
+      | Some x when s.best_m < entry -> Some (x, s.best_m)
+      | _ -> None);
+    r_nodes = nodes_used;
+    r_hit_nodes = s.out_of_budget && nodes_used >= budget;
+    r_hit_time = s.out_of_budget && nodes_used < budget;
+    r_bound_incomplete = s.bound_incomplete;
+  }
+
+(* Explore the captured frontier on the pool.  [s] is the caller's
+   search state, just finished with the ramp-up (its problem is back at
+   root bounds); [finish] packages the outcome.
+
+   Deterministic mode replays the sequential search exactly: subtrees
+   are explored speculatively in parallel (every task of a wave entering
+   with the same incumbent bound), then their results are consumed in
+   DFS order; a task whose speculation contract no longer matches what
+   the sequential search would have given it — an earlier subtree
+   improved the incumbent, or the node budget no longer covers what it
+   used — is re-explored, incumbent-stale tasks as a fresh wave and
+   budget-stale tasks alone with the exact remaining budget.  With a
+   good warm start incumbent improvements are rare and one wave usually
+   suffices.
+
+   Free-running mode launches every subtree once, sharing the incumbent
+   and the node count through atomics — less redundant work under
+   frequent incumbent traffic, but which nodes get pruned depends on
+   thread timing. *)
+let solve_frontier s ~pool ~jobs ~shared ~mk_search ~tasks ~finish =
+  let owned_pool = ref None in
+  let pool =
+    match pool with
+    | Some p -> p
+    | None ->
+      let p = Pool.create ~jobs in
+      owned_pool := Some p;
+      p
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Pool.shutdown !owned_pool)
+  @@ fun () ->
+  let base_lb =
+    Array.init (Lp_problem.num_vars s.prob) (Lp_problem.var_lb s.prob)
+  and base_ub =
+    Array.init (Lp_problem.num_vars s.prob) (Lp_problem.var_ub s.prob)
+  in
+  (* Worker 0 is the calling domain and reuses the ramp-up search state;
+     every other worker gets its own copy of the problem.  The copies
+     MUST be taken here, before any task runs: worker 0 mutates [s.prob]
+     bounds while executing its tasks, so a copy taken lazily mid-wave
+     could capture a sibling's branch bounds as its root. *)
+  let states =
+    Array.init (Pool.jobs pool) (fun w ->
+        if w = 0 then s else mk_search (Lp_problem.copy s.prob))
+  in
+  let state_of worker = states.(worker) in
+  let n = Array.length tasks in
+  let results : task_result option array = Array.make n None in
+  let ramp_nodes = s.nodes in
+  let chain_m = ref s.best_m and chain_x = ref s.best_x in
+  let consumed = ref ramp_nodes in
+  let out_of_budget = ref s.out_of_budget in
+  let bound_incomplete = ref s.bound_incomplete in
+  let waves = ref 0 in
+  let launch_wave ~from ~entry ~budget =
+    incr waves;
+    Pool.run pool ~n:(n - from) (fun ~worker k ->
+        let i = from + k in
+        results.(i) <-
+          Some (run_task (state_of worker) ~base_lb ~base_ub tasks.(i) ~entry
+                  ~budget))
+  in
+  (match shared with
+  | Some sh ->
+    (* Free-running: one wave; the per-task budget is only a backstop,
+       the real limit is the shared node counter. *)
+    launch_wave ~from:0 ~entry:!chain_m
+      ~budget:(Int.max 0 (s.prm.node_limit - ramp_nodes));
+    Array.iter
+      (fun r ->
+        let r = Option.get r in
+        consumed := !consumed + r.r_nodes;
+        if r.r_hit_nodes || r.r_hit_time then out_of_budget := true;
+        if r.r_bound_incomplete then bound_incomplete := true)
+      results;
+    if Atomic.get sh.sh_nodes >= s.prm.node_limit then out_of_budget := true;
+    Mutex.lock sh.sh_lock;
+    (match sh.sh_x with
+    | Some (x, m) when m < !chain_m ->
+      chain_m := m;
+      chain_x := Some x
+    | _ -> ());
+    Mutex.unlock sh.sh_lock
+  | None ->
+    (* Deterministic replay with speculative waves. *)
+    let accept r =
+      consumed := !consumed + r.r_nodes;
+      if r.r_bound_incomplete then bound_incomplete := true;
+      match r.r_found with
+      | Some (x, m) ->
+        (* [run_task] only reports strict improvements over its entry
+           bound, which was the chain value. *)
+        chain_m := m;
+        chain_x := Some x
+      | None -> ()
+    in
+    (* If the ramp-up itself ran out of budget the sequential search
+       would touch none of the captured subtrees. *)
+    let i = ref 0 and stop = ref !out_of_budget in
+    while !i < n && not !stop do
+      let remaining = s.prm.node_limit - !consumed in
+      if remaining <= 0 then begin
+        (* The sequential search checks the budget before every node, so
+           it would refuse to open any further subtree. *)
+        out_of_budget := true;
+        stop := true
+      end
+      else begin
+        (match results.(!i) with
+        | Some r when r.r_entry = !chain_m -> ()
+        | _ ->
+          (* Incumbent is stale (or first visit): every remaining task
+             speculated on the wrong entry bound, so relaunch them all
+             as one wave under the current chain value. *)
+          launch_wave ~from:!i ~entry:!chain_m ~budget:remaining);
+        let r = Option.get results.(!i) in
+        if r.r_hit_time then begin
+          (* Wall clock ran out mid-subtree: accept what was found;
+             exactness — and hence replay determinism — ends here, as it
+             does for any time-limited run. *)
+          accept r;
+          out_of_budget := true;
+          stop := true
+        end
+        else if r.r_hit_nodes && r.r_budget = remaining then begin
+          (* Ran with the exact remaining budget and exhausted it: the
+             sequential search runs out of nodes inside this very
+             subtree, finding the same incumbents on the way. *)
+          accept r;
+          out_of_budget := true;
+          stop := true
+        end
+        else if r.r_nodes > remaining || r.r_hit_nodes then
+          (* Speculated past the real budget (or was cut off below it):
+             re-run this one subtree with the exact remaining budget.
+             The next iteration consumes it via one of the cases above. *)
+          results.(!i) <-
+            Some
+              (run_task (state_of 0) ~base_lb ~base_ub tasks.(!i)
+                 ~entry:!chain_m ~budget:remaining)
+        else begin
+          (* Admissible: byte-for-byte what the sequential search would
+             have done with this subtree. *)
+          accept r;
+          incr i
+        end
+      end
+    done);
+  s.best_m <- !chain_m;
+  s.best_x <- !chain_x;
+  s.out_of_budget <- !out_of_budget;
+  s.bound_incomplete <- !bound_incomplete;
+  let per_domain =
+    Array.map work_of states
+  in
+  finish ~per_domain ~waves:!waves ~total:(sum_work per_domain)
+
+let solve ?(params = default_params) ?warm ?pool model =
   let prob = Model.problem model in
   let sense_mult =
     match Lp_problem.sense prob with
@@ -269,11 +589,24 @@ let solve ?(params = default_params) ?warm model =
       Hashtbl.replace partner a b;
       Hashtbl.replace partner b a)
     (Model.pairs model);
+  let jobs =
+    match pool with Some p -> Pool.jobs p | None -> Int.max 1 params.jobs
+  in
+  let parallel = jobs > 1 in
+  let shared =
+    if parallel && not params.deterministic then
+      Some
+        { sh_best = Atomic.make infinity; sh_lock = Mutex.create ();
+          sh_x = None; sh_nodes = Atomic.make 0 }
+    else None
+  in
   let start = Unix.gettimeofday () in
-  let s =
+  let mk_search prob =
     {
       model; prob; prm = params; sense_mult; partner;
       deadline = start +. params.time_limit;
+      shared; node_budget = params.node_limit; capture = None;
+      ramp_limit = max_int;
       nodes = 0; lp_solves = 0;
       warm_hits = 0; cold_solves = 0; refactorizations = 0; pivots = 0;
       shadow_pivots = 0;
@@ -281,6 +614,7 @@ let solve ?(params = default_params) ?warm model =
       out_of_budget = false; root_unbounded = false; bound_incomplete = false;
     }
   in
+  let s = mk_search prob in
   (* Install the warm start if it checks out. *)
   (match warm with
   | Some x
@@ -292,11 +626,21 @@ let solve ?(params = default_params) ?warm model =
       *. (Lp_problem.objective_value prob x +. Model.objective_constant model)
     in
     s.best_m <- m;
-    s.best_x <- Some (Array.copy x)
+    s.best_x <- Some (Array.copy x);
+    (match shared with Some sh -> publish_shared sh x m | None -> ())
   | Some _ ->
     Log.warn (fun f -> f "warm start rejected (infeasible or non-integral)")
   | None -> ());
-  let finish ~root_bound =
+  (* Capture hook for the parallel ramp-up: once [ramp_nodes] node LPs
+     have been spent, pending subtrees are queued (in DFS order, which is
+     the order the sequential search would visit them) instead of
+     explored. *)
+  let tasks_rev = ref [] and n_tasks = ref 0 in
+  if parallel then begin
+    s.capture <- Some (fun t -> tasks_rev := t :: !tasks_rev; incr n_tasks);
+    s.ramp_limit <- Int.min params.ramp_nodes params.node_limit
+  end;
+  let finish ~root_bound ~per_domain ~frontier ~waves ~total =
     let elapsed = Unix.gettimeofday () -. start in
     let best = Option.map (fun x -> (x, s.sense_mult *. s.best_m)) s.best_x in
     let status =
@@ -309,17 +653,22 @@ let solve ?(params = default_params) ?warm model =
         | None, true -> No_solution
     in
     {
-      status; best; nodes = s.nodes; lp_solves = s.lp_solves;
-      warm_hits = s.warm_hits; cold_solves = s.cold_solves;
-      refactorizations = s.refactorizations; pivots = s.pivots;
-      shadow_pivots = s.shadow_pivots; root_bound; elapsed;
+      status; best; nodes = total.d_nodes; lp_solves = total.d_lp_solves;
+      warm_hits = total.d_warm_hits; cold_solves = total.d_cold_solves;
+      refactorizations = total.d_refactorizations; pivots = total.d_pivots;
+      shadow_pivots = total.d_shadow_pivots; root_bound; elapsed;
+      per_domain; frontier_tasks = frontier; waves;
     }
+  in
+  let seq_finish ~root_bound =
+    let w = work_of s in
+    finish ~root_bound ~per_domain:[| w |] ~frontier:0 ~waves:0 ~total:w
   in
   if budget_exhausted s then begin
     (* Exhausted before the root LP: report without solving anything, so
        nodes and lp_solves stay exact (both 0). *)
     s.out_of_budget <- true;
-    finish ~root_bound:nan
+    seq_finish ~root_bound:nan
   end
   else begin
     (* Root LP: solved exactly once, reused both for the reported root
@@ -332,18 +681,32 @@ let solve ?(params = default_params) ?warm model =
       | Revised.Unbounded | Revised.Iteration_limit -> neg_infinity
       | Revised.Infeasible -> infinity
     in
-    if root_bound = infinity && s.best_x = None then
+    if root_bound = infinity && s.best_x = None then begin
+      let w = work_of s in
       {
         status = Infeasible; best = None; nodes = 0; lp_solves = s.lp_solves;
         warm_hits = s.warm_hits; cold_solves = s.cold_solves;
         refactorizations = s.refactorizations; pivots = s.pivots;
         shadow_pivots = s.shadow_pivots; root_bound = nan;
         elapsed = Unix.gettimeofday () -. start;
+        per_domain = [| w |]; frontier_tasks = 0; waves = 0;
       }
+    end
     else begin
       s.nodes <- s.nodes + 1;
-      expand s ~depth:0 ~parent_basis:None ~parent_bound:neg_infinity
+      (match shared with Some sh -> Atomic.incr sh.sh_nodes | None -> ());
+      expand s ~depth:0 ~trail:[] ~parent_basis:None ~parent_bound:neg_infinity
         root_result;
-      finish ~root_bound:(sense_mult *. root_bound)
+      s.capture <- None;
+      let tasks = Array.of_list (List.rev !tasks_rev) in
+      if Array.length tasks = 0 then
+        (* Sequential run, or a ramp-up that exhausted the whole tree. *)
+        seq_finish ~root_bound:(sense_mult *. root_bound)
+      else
+        solve_frontier s ~pool ~jobs ~shared ~mk_search ~tasks
+          ~finish:(fun ~per_domain ~waves ~total ->
+            finish ~root_bound:(sense_mult *. root_bound) ~per_domain
+              ~frontier:!n_tasks ~waves ~total)
     end
   end
+

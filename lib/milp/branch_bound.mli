@@ -19,9 +19,21 @@
       effective from the first node;
     - node- and time-budgets: when exhausted the best incumbent is
       returned with status [Feasible], mirroring how LINDO was used on a
-      4-MIPS Apollo workstation.
+      4-MIPS Apollo workstation;
+    - optional multi-domain search ([jobs > 1]): a short sequential
+      ramp-up captures the unexplored frontier, whose subtrees are then
+      explored on a {!Fp_util.Pool} of domains, each with its own copy
+      of the problem and its own simplex state.
 
-    The search is deterministic given the model and parameters. *)
+    The search is deterministic given the model and parameters: with the
+    default [deterministic = true] the parallel search replays the
+    sequential one exactly (same incumbent, same node count, independent
+    of domain scheduling), at the cost of re-exploring subtrees whose
+    speculative pruning bound turned out stale.  Setting
+    [deterministic = false] shares the incumbent through an atomic
+    instead — faster under heavy incumbent traffic, but the set of
+    pruned nodes (and, among equal-objective optima, the returned point)
+    then depends on timing.  See [docs/parallel.md]. *)
 
 type branch_rule =
   | Most_fractional
@@ -51,6 +63,17 @@ type params = {
           comparison: both engines priced on the identical sequence of
           subproblems, same floorplan by construction.  Roughly doubles
           node cost; never use outside benchmarking. *)
+  jobs : int;
+      (** number of domains to search on (default [1], fully
+          sequential).  Ignored when a [pool] is passed to {!solve} —
+          the pool's size wins. *)
+  deterministic : bool;
+      (** replay the sequential search exactly (default [true]); see the
+          module header for the trade-off *)
+  ramp_nodes : int;
+      (** nodes explored sequentially before the frontier is handed to
+          the pool (default [32]).  Larger values seed more, smaller
+          tasks; only meaningful when [jobs > 1]. *)
 }
 
 val default_params : params
@@ -62,6 +85,20 @@ type status =
   | Infeasible    (** no integer-feasible point exists *)
   | Unbounded     (** LP relaxation unbounded at the root *)
   | No_solution   (** budget exhausted before any incumbent was found *)
+
+type domain_work = {
+  d_nodes : int;
+  d_lp_solves : int;
+  d_warm_hits : int;
+  d_cold_solves : int;
+  d_refactorizations : int;
+  d_pivots : int;
+  d_shadow_pivots : int;
+}
+(** Per-domain slice of the search-effort counters.  In deterministic
+    mode this counts {e all} work a domain performed, including
+    speculation that was later discarded by the replay — the honest
+    parallel cost, not the sequential-equivalent cost. *)
 
 type outcome = {
   status : status;
@@ -86,9 +123,29 @@ type outcome = {
   root_bound : float;
       (** LP-relaxation bound at the root, original sense *)
   elapsed : float;
+  per_domain : domain_work array;
+      (** one entry per worker domain (entry [0] is the calling domain,
+          which also performed the ramp-up); a single entry for
+          sequential runs *)
+  frontier_tasks : int;
+      (** subtrees captured by the ramp-up and handed to the pool; [0]
+          for sequential runs and for trees the ramp-up exhausted *)
+  waves : int;
+      (** speculative parallel waves launched; [1] when no task's
+          pruning bound went stale, [0] for sequential runs *)
 }
 
-val solve : ?params:params -> ?warm:float array -> Model.t -> outcome
+val solve :
+  ?params:params -> ?warm:float array -> ?pool:Fp_util.Pool.t -> Model.t ->
+  outcome
 (** [solve model] runs the search.  [warm], when given, must be feasible
     and integral (checked; silently ignored otherwise — a bad warm start
-    must never corrupt the search). *)
+    must never corrupt the search).
+
+    [pool], when given, supplies the worker domains for [jobs > 1] (and
+    overrides [params.jobs] with its size); otherwise a private pool is
+    created and shut down around the frontier phase.  Passing a shared
+    pool amortizes domain spawning across many [solve] calls — the
+    successive-augmentation driver does exactly that.  The caller must
+    not invoke [solve] with the same pool from two domains at once (see
+    {!Fp_util.Pool.run} on nesting). *)

@@ -40,3 +40,7 @@ let shuffle_list t l =
   Array.to_list arr
 
 let split t = { state = next_int64 t }
+
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  Array.init n (fun _ -> split t)

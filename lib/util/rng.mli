@@ -4,7 +4,19 @@
     augmentation orderings — draws from this generator with an explicit
     seed, so instances and experiment tables are bit-reproducible across
     runs and machines.  SplitMix64 is tiny, fast, and passes BigCrush for
-    the purposes of workload generation. *)
+    the purposes of workload generation.
+
+    {b Domain discipline.}  A [t] is a single mutable cell with no
+    internal locking; two domains drawing from the same [t] race (and,
+    worse, silently correlate).  Every parallel code path must instead
+    derive one stream per domain up front with {!split} / {!split_n} —
+    derivation advances the parent deterministically, so the overall run
+    stays reproducible regardless of how the children are later
+    scheduled.  (Audit note: every generator in this repository is
+    created locally from an explicit seed — [Fp_netlist.Generator],
+    [Fp_netlist.Ordering.random], [Fp_slicing.Anneal], [Fp_data.Ami33] —
+    so there is no shared global stream to protect; the rule exists so
+    the parallel solve layer, {!Pool}, can never introduce one.) *)
 
 type t
 
@@ -35,3 +47,10 @@ val shuffle_list : t -> 'a list -> 'a list
 
 val split : t -> t
 (** Derive an independent child stream (advances the parent). *)
+
+val split_n : t -> int -> t array
+(** [split_n t n] derives [n] independent child streams — one per domain
+    of a parallel section.  Advances the parent [n] times; the children
+    are safe to move to other domains as long as each is then used by
+    one domain only.
+    @raise Invalid_argument on a negative [n]. *)

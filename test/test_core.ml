@@ -530,6 +530,66 @@ let test_augment_deterministic () =
   checkf "same height" a.Augment.placement.Placement.height
     b.Augment.placement.Placement.height
 
+let test_augment_jobs_deterministic () =
+  (* With the default deterministic MILP mode, the floorplan must be
+     bit-identical whatever the worker count. *)
+  let nl =
+    Generator.generate
+      { Generator.default_config with Generator.num_modules = 9; seed = 31 }
+  in
+  let run jobs =
+    (Augment.run ~config:{ small_cfg with Augment.jobs } nl).Augment.placement
+  in
+  let ref_pl = run 1 in
+  List.iter
+    (fun jobs ->
+      let pl = run jobs in
+      checkf
+        (Printf.sprintf "height at jobs=%d" jobs)
+        ref_pl.Placement.height pl.Placement.height;
+      Alcotest.(check bool)
+        (Printf.sprintf "identical rects at jobs=%d" jobs)
+        true
+        (Placement.rects pl = Placement.rects ref_pl))
+    [ 2; 4 ]
+
+let test_augment_candidates_concurrent () =
+  (* candidates > 1 changes the greedy search, but serial and parallel
+     candidate evaluation must agree, and the stats must record how many
+     candidates were tried. *)
+  let nl =
+    Generator.generate
+      { Generator.default_config with Generator.num_modules = 8; seed = 32 }
+  in
+  let run jobs =
+    Augment.run
+      ~config:{ small_cfg with Augment.candidates = 3; jobs }
+      nl
+  in
+  let serial = run 1 and parallel = run 3 in
+  Alcotest.(check int) "all placed" 8
+    (Placement.num_placed serial.Augment.placement);
+  Alcotest.(check bool) "valid" true
+    (Placement.valid serial.Augment.placement = Ok ());
+  checkf "serial = parallel height" serial.Augment.placement.Placement.height
+    parallel.Augment.placement.Placement.height;
+  Alcotest.(check bool) "identical rects" true
+    (Placement.rects serial.Augment.placement
+    = Placement.rects parallel.Augment.placement);
+  let first = List.hd serial.Augment.steps in
+  Alcotest.(check int) "first step tried 3 candidates" 3
+    first.Augment.candidates_evaluated
+
+let test_augment_rejects_bad_parallel_config () =
+  let nl = two_module_nl () in
+  Alcotest.check_raises "jobs < 1" (Invalid_argument "Augment.run: jobs < 1")
+    (fun () ->
+      ignore (Augment.run ~config:{ small_cfg with Augment.jobs = 0 } nl));
+  Alcotest.check_raises "candidates < 1"
+    (Invalid_argument "Augment.run: candidates < 1") (fun () ->
+      ignore
+        (Augment.run ~config:{ small_cfg with Augment.candidates = 0 } nl))
+
 let test_augment_chip_width_respected () =
   let nl =
     Generator.generate
@@ -813,6 +873,12 @@ let () =
           Alcotest.test_case "places everything" `Quick
             test_augment_places_everything;
           Alcotest.test_case "deterministic" `Quick test_augment_deterministic;
+          Alcotest.test_case "jobs deterministic" `Quick
+            test_augment_jobs_deterministic;
+          Alcotest.test_case "concurrent candidates" `Quick
+            test_augment_candidates_concurrent;
+          Alcotest.test_case "rejects bad parallel config" `Quick
+            test_augment_rejects_bad_parallel_config;
           Alcotest.test_case "chip width respected" `Quick
             test_augment_chip_width_respected;
           Alcotest.test_case "envelopes add margins" `Quick

@@ -456,6 +456,104 @@ let test_bb_solutions_integral =
         Model.integral m x && Lp.constraint_violation (Model.problem m) x < 1e-5
       | None -> true)
 
+(* -------------------- parallel determinism -------------------------- *)
+
+(* Build the same random MILP shape the brute-force test uses, so the
+   parallel runs are exercised on the full generator distribution. *)
+let build_random_milp (n, cc, rows) =
+  let m = Model.create () in
+  let bs = List.init n (fun i -> Model.add_binary m (Printf.sprintf "b%d" i)) in
+  let t = Model.add_continuous m ~ub:10. "t" in
+  List.iter
+    (fun (coeffs, r) ->
+      let terms =
+        List.mapi
+          (fun i c ->
+            if i < n then Expr.(c * var (List.nth bs i))
+            else Expr.(c * var t))
+          coeffs
+      in
+      Model.add_constr m (Expr.sum terms) Model.Le (Expr.const r))
+    rows;
+  Model.set_objective m `Maximize Expr.(sum (List.map var bs) + (cc * var t));
+  m
+
+(* ramp_nodes = 1 forces almost the whole tree through the frontier
+   machinery even on these small instances, which is the path under
+   test; jobs > 1 actually spawns domains. *)
+let par_params = { BB.default_params with jobs = 4; ramp_nodes = 1 }
+
+let test_parallel_deterministic_matches_sequential =
+  QCheck.Test.make
+    ~name:"deterministic jobs=4 replays jobs=1 bit-for-bit" ~count:75
+    random_milp_arb (fun inst ->
+      let seq = BB.solve ~params:BB.default_params (build_random_milp inst) in
+      let par = BB.solve ~params:par_params (build_random_milp inst) in
+      seq.BB.status = par.BB.status
+      && (match (seq.BB.best, par.BB.best) with
+         | None, None -> true
+         | Some (x1, o1), Some (x2, o2) -> o1 = o2 && x1 = x2
+         | _ -> false))
+
+let test_parallel_free_running_optimal =
+  QCheck.Test.make ~name:"free-running jobs=4 finds the same optimum"
+    ~count:50 random_milp_arb (fun inst ->
+      let seq = BB.solve ~params:BB.default_params (build_random_milp inst) in
+      let par =
+        BB.solve
+          ~params:{ par_params with deterministic = false }
+          (build_random_milp inst)
+      in
+      (* Timing decides which optimal point wins, but with an exhausted
+         search the optimal value is unique. *)
+      match (seq.BB.best, par.BB.best) with
+      | None, None -> true
+      | Some (_, o1), Some (_, o2) -> Float.abs (o1 -. o2) < 1e-9
+      | _ -> false)
+
+(* A knapsack whose LP relaxation is fractional at the root, so a 1-node
+   ramp is guaranteed to leave a frontier for the pool. *)
+let frontier_model () =
+  let m = Model.create () in
+  let n = 10 in
+  let v i = float_of_int (n - i) and w i = float_of_int (2 + ((3 * i) mod 7)) in
+  let bs = List.init n (fun i -> Model.add_binary m (Printf.sprintf "b%d" i)) in
+  Model.add_constr m
+    (Expr.sum (List.mapi (fun i b -> Expr.(w i * var b)) bs))
+    Model.Le (Expr.const 13.);
+  Model.set_objective m `Maximize
+    (Expr.sum (List.mapi (fun i b -> Expr.(v i * var b)) bs));
+  m
+
+let test_parallel_stats_cover_all_domains () =
+  let out = BB.solve ~params:par_params (frontier_model ()) in
+  Alcotest.(check int) "one slice per domain" 4
+    (Array.length out.BB.per_domain);
+  let sum f = Array.fold_left (fun a w -> a + f w) 0 out.BB.per_domain in
+  Alcotest.(check int) "nodes = sum of slices" out.BB.nodes
+    (sum (fun w -> w.BB.d_nodes));
+  Alcotest.(check int) "lp_solves = sum of slices" out.BB.lp_solves
+    (sum (fun w -> w.BB.d_lp_solves));
+  Alcotest.(check bool) "frontier was used" true (out.BB.frontier_tasks > 0);
+  Alcotest.(check bool) "at least one wave" true (out.BB.waves >= 1)
+
+let test_shared_pool_reused () =
+  (* Several solves through one caller-owned pool, interleaved with
+     sequential solves, all agreeing. *)
+  Fp_util.Pool.with_pool ~jobs:3 (fun pool ->
+      for seed = 1 to 5 do
+        let inst =
+          (5, 1., [ ([ 1.; 2.; 1.; 2.; 1.; 1. ], float_of_int (seed + 2)) ])
+        in
+        let seq = BB.solve (build_random_milp inst) in
+        let par =
+          BB.solve ~params:{ BB.default_params with ramp_nodes = 1 } ~pool
+            (build_random_milp inst)
+        in
+        let _, o1 = best_exn seq and _, o2 = best_exn par in
+        checkf (Printf.sprintf "seed %d objective" seed) o1 o2
+      done)
+
 let () =
   Alcotest.run "fp_milp"
     [
@@ -503,5 +601,14 @@ let () =
           Alcotest.test_case "branch rules agree" `Quick test_branch_rules_agree;
           QCheck_alcotest.to_alcotest test_bb_matches_brute_force;
           QCheck_alcotest.to_alcotest test_bb_solutions_integral;
+        ] );
+      ( "parallel",
+        [
+          QCheck_alcotest.to_alcotest
+            test_parallel_deterministic_matches_sequential;
+          QCheck_alcotest.to_alcotest test_parallel_free_running_optimal;
+          Alcotest.test_case "per-domain stats" `Quick
+            test_parallel_stats_cover_all_domains;
+          Alcotest.test_case "shared pool" `Quick test_shared_pool_reused;
         ] );
     ]

@@ -4,6 +4,7 @@
 module Rng = Fp_util.Rng
 module Stats = Fp_util.Stats
 module Heap = Fp_util.Heap
+module Pool = Fp_util.Pool
 
 let check = Alcotest.check
 let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
@@ -64,6 +65,44 @@ let test_rng_split_independent () =
   Alcotest.(check bool)
     "child differs from parent" false
     (Rng.next_int64 parent = Rng.next_int64 child)
+
+let test_rng_split_n_deterministic () =
+  (* Same parent seed must yield the same child streams — the property
+     that keeps parallel runs reproducible. *)
+  let children seed =
+    Rng.split_n (Rng.create seed) 4 |> Array.map Rng.next_int64
+  in
+  check
+    Alcotest.(array int64)
+    "same seed, same children" (children 17) (children 17)
+
+let test_rng_split_n_pairwise_distinct () =
+  let kids = Rng.split_n (Rng.create 23) 8 in
+  let outs = Array.map Rng.next_int64 kids in
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if i < j then
+            Alcotest.(check bool)
+              (Printf.sprintf "children %d and %d diverge" i j)
+              false (a = b))
+        outs)
+    outs
+
+let test_rng_split_n_advances_parent () =
+  let a = Rng.create 31 and b = Rng.create 31 in
+  ignore (Rng.split_n a 3);
+  Alcotest.(check bool)
+    "parent advanced by derivation" false
+    (Rng.next_int64 a = Rng.next_int64 b)
+
+let test_rng_split_n_edge_cases () =
+  check Alcotest.int "zero children" 0
+    (Array.length (Rng.split_n (Rng.create 1) 0));
+  Alcotest.check_raises "negative n"
+    (Invalid_argument "Rng.split_n: negative count") (fun () ->
+      ignore (Rng.split_n (Rng.create 1) (-1)))
 
 let test_rng_copy () =
   let a = Rng.create 13 in
@@ -136,6 +175,38 @@ let test_heap_random_sorts =
       in
       drain [] = List.sort compare floats)
 
+let test_heap_vs_oracle =
+  (* Random interleaving of pushes and pops, checked move-by-move against
+     a sorted-list oracle. *)
+  let op =
+    QCheck.(
+      oneof
+        [
+          map (fun f -> `Push f) (float_bound_exclusive 100.);
+          always `Pop;
+        ])
+  in
+  QCheck.Test.make ~name:"heap matches sorted-list oracle" ~count:300
+    (QCheck.list op) (fun ops ->
+      let h = Heap.create () in
+      let oracle = ref [] in
+      List.for_all
+        (fun operation ->
+          match operation with
+          | `Push f ->
+            Heap.push h f f;
+            oracle := List.merge compare [ f ] !oracle;
+            Heap.size h = List.length !oracle
+          | `Pop -> (
+            match (Heap.pop h, !oracle) with
+            | None, [] -> true
+            | Some (k, v), x :: rest ->
+              oracle := rest;
+              k = x && v = x
+            | _ -> false))
+        ops
+      && Heap.size h = List.length !oracle)
+
 let test_heap_interleaved () =
   let h = Heap.create () in
   Heap.push h 3. 3;
@@ -146,6 +217,82 @@ let test_heap_interleaved () =
   Alcotest.(check int) "pop 0" 0 (snd (Option.get (Heap.pop h)));
   Alcotest.(check int) "pop 2" 2 (snd (Option.get (Heap.pop h)));
   Alcotest.(check int) "pop 3" 3 (snd (Option.get (Heap.pop h)))
+
+(* ------------------------------ Pool ------------------------------- *)
+
+let test_pool_map_correct () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          check Alcotest.int "reported size" jobs (Pool.jobs p);
+          let out = Pool.map p ~n:100 (fun ~worker:_ i -> i * i) in
+          check
+            Alcotest.(array int)
+            (Printf.sprintf "squares at jobs=%d" jobs)
+            (Array.init 100 (fun i -> i * i))
+            out))
+    [ 1; 2; 4 ]
+
+let test_pool_worker_ids_in_range () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let seen = Array.make 4 false in
+      Pool.run p ~n:64 (fun ~worker _ ->
+          if worker < 0 || worker >= 4 then
+            failwith (Printf.sprintf "worker id %d out of range" worker);
+          seen.(worker) <- true);
+      Alcotest.(check bool) "worker 0 participates" true seen.(0))
+
+let test_pool_exception_propagates () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      Alcotest.check_raises "task failure surfaces" (Failure "task 7")
+        (fun () ->
+          Pool.run p ~n:16 (fun ~worker:_ i ->
+              if i = 7 then failwith "task 7"));
+      (* The pool must survive a failed batch. *)
+      let out = Pool.map p ~n:8 (fun ~worker:_ i -> i + 1) in
+      check Alcotest.(array int) "usable after failure"
+        (Array.init 8 (fun i -> i + 1))
+        out)
+
+let test_pool_skewed_batch () =
+  (* One heavy task next to many trivial ones: stealing must still
+     produce every result exactly once. *)
+  Pool.with_pool ~jobs:4 (fun p ->
+      let out =
+        Pool.map p ~n:32 (fun ~worker:_ i ->
+            if i = 0 then begin
+              let acc = ref 0 in
+              for k = 1 to 2_000_000 do
+                acc := (!acc * 31) + k
+              done;
+              ignore !acc
+            end;
+            i)
+      in
+      check Alcotest.(array int) "all slots filled once"
+        (Array.init 32 Fun.id) out)
+
+let test_pool_reused_across_batches () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      for round = 1 to 20 do
+        let out = Pool.map p ~n:round (fun ~worker:_ i -> i * round) in
+        check Alcotest.(array int)
+          (Printf.sprintf "round %d" round)
+          (Array.init round (fun i -> i * round))
+          out
+      done)
+
+let test_pool_jobs_clamped () =
+  Pool.with_pool ~jobs:0 (fun p ->
+      check Alcotest.int "clamped up to 1" 1 (Pool.jobs p));
+  Pool.with_pool ~jobs:1000 (fun p ->
+      check Alcotest.int "clamped down to 64" 64 (Pool.jobs p))
+
+let test_pool_shutdown_idempotent () =
+  let p = Pool.create ~jobs:2 in
+  ignore (Pool.map p ~n:4 (fun ~worker:_ i -> i));
+  Pool.shutdown p;
+  Pool.shutdown p
 
 let () =
   Alcotest.run "fp_util"
@@ -161,6 +308,14 @@ let () =
           Alcotest.test_case "shuffle permutation" `Quick
             test_rng_shuffle_permutation;
           Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "split_n deterministic" `Quick
+            test_rng_split_n_deterministic;
+          Alcotest.test_case "split_n pairwise distinct" `Quick
+            test_rng_split_n_pairwise_distinct;
+          Alcotest.test_case "split_n advances parent" `Quick
+            test_rng_split_n_advances_parent;
+          Alcotest.test_case "split_n edge cases" `Quick
+            test_rng_split_n_edge_cases;
           Alcotest.test_case "copy" `Quick test_rng_copy;
         ] );
       ( "stats",
@@ -180,5 +335,21 @@ let () =
           Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
           Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
           QCheck_alcotest.to_alcotest test_heap_random_sorts;
+          QCheck_alcotest.to_alcotest test_heap_vs_oracle;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map correctness" `Quick test_pool_map_correct;
+          Alcotest.test_case "worker ids in range" `Quick
+            test_pool_worker_ids_in_range;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "skewed batch steals" `Quick
+            test_pool_skewed_batch;
+          Alcotest.test_case "reused across batches" `Quick
+            test_pool_reused_across_batches;
+          Alcotest.test_case "jobs clamped" `Quick test_pool_jobs_clamped;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_pool_shutdown_idempotent;
         ] );
     ]
