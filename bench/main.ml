@@ -144,6 +144,26 @@ let worst_status steps =
 
 let sum_steps f steps = List.fold_left (fun a s -> a + f s) 0 steps
 
+(* Resilience provenance attached to every per-run JSON record: what the
+   run degraded on, how often it retried, and whether the deadline ladder
+   had to truncate steps.  A regression tracker diffing BENCH files sees
+   a solver that silently started falling back. *)
+let resilience_fields steps =
+  let degs =
+    List.concat_map
+      (fun (s : Augment.step_stat) -> s.Augment.degradations)
+      steps
+  in
+  [
+    ( "degradations",
+      Json.List (List.map (fun d -> Json.Str (Degradation.to_string d)) degs) );
+    ("retries", Json.Int (sum_steps (fun s -> s.Augment.retries) steps));
+    ( "deadline_misses",
+      Json.Int
+        (List.length
+           (List.filter (fun d -> d = Degradation.Deadline_truncated) degs)) );
+  ]
+
 let table1_sizes () =
   List.filter (fun k -> k <= !max_k) Fp_data.Instances.table1_sizes
 
@@ -189,7 +209,7 @@ let table1 () =
       samples := (float_of_int k, dt) :: !samples;
       rows :=
         Json.Obj
-          [
+          ([
             ("k", Json.Int k);
             ("time_s", Json.Float dt);
             ("area", Json.Float (Placement.chip_area pl));
@@ -202,6 +222,7 @@ let table1 () =
             ("pivots", Json.Int (sum_steps (fun s -> s.Augment.pivots) steps));
             ("worst_status", Json.Str (status_str (worst_status steps)));
           ]
+          @ resilience_fields steps)
         :: !rows;
       printf "%8d %12.0f %12.1f %14.2f %11.1f%% %10d\n" k
         (Placement.chip_area pl) pl.Placement.height dt
@@ -506,7 +527,7 @@ let ablation_warm_start () =
         (if same sh_pl warm_pl then "" else "  (SHADOW RUN DIVERGED)");
       let mode_obj steps pl dt errors =
         Json.Obj
-          [
+          ([
             ("area", Json.Float (Placement.chip_area pl));
             ("utilization", Json.Float (Metrics.utilization nl pl));
             ("pivots", Json.Int (sum_steps (fun s -> s.Augment.pivots) steps));
@@ -519,6 +540,7 @@ let ablation_warm_start () =
             ("certified", Json.Bool (errors = 0));
             ("worst_status", Json.Str (status_str (worst_status steps)));
           ]
+          @ resilience_fields steps)
       in
       rows :=
         Json.Obj
@@ -554,7 +576,7 @@ let ablation_parallel () =
     (fun j ->
       let config = { (base_config ()) with Augment.jobs = j } in
       let t0 = Unix.gettimeofday () in
-      let _, pl = floorplan ~config nl in
+      let res, pl = floorplan ~config nl in
       let dt = Unix.gettimeofday () -. t0 in
       (match !ref_pl with
       | None ->
@@ -575,7 +597,7 @@ let ablation_parallel () =
         (if errors = 0 then "pass" else "FAIL");
       rows :=
         Json.Obj
-          [
+          ([
             ("jobs", Json.Int j);
             ("time_s", Json.Float dt);
             ("speedup", Json.Float speedup);
@@ -584,6 +606,7 @@ let ablation_parallel () =
             ("identical_to_jobs1", Json.Bool identical);
             ("certified", Json.Bool (errors = 0));
           ]
+          @ resilience_fields res.Augment.steps)
         :: !rows)
     [ 1; 2; 4; 8 ];
   write_json "ablation_parallel"
@@ -659,6 +682,127 @@ let check_overhead () =
   in
   ignore (Augment.run ~config nl);
   printf "%6s %8d %8d %8d %12.1f %14.1f\n" "total" !te !tw !ti !tlint !tcert
+
+(* --------------------------------------------------------------------- *)
+(* Fault matrix: every registered fault site injected on an ami33 prefix  *)
+(* --------------------------------------------------------------------- *)
+
+(* First [k] modules of the ami33 instance with every net that stays
+   inside them — big enough to run several augmentation steps, small
+   enough that the whole matrix finishes in CI-smoke time. *)
+let ami33_prefix k =
+  let full = Fp_data.Ami33.netlist () in
+  let mods = Array.to_list (Array.sub (Netlist.modules full) 0 k) in
+  let nets =
+    List.filter
+      (fun n -> List.for_all (fun m -> m < k) (Fp_netlist.Net.modules n))
+      (Netlist.nets full)
+  in
+  Netlist.create ~name:(Printf.sprintf "ami33_k%d" k) mods nets
+
+let fault_matrix () =
+  hr "Fault matrix -- every registered fault site, ami33 K<=12 prefix";
+  printf "(acceptance: an injected fault must still yield a certifier-passing\n";
+  printf " placement AND leave a degradation in the run record -- no crash,\n";
+  printf " no hang, no silently-clean report)\n\n";
+  let nl = ami33_prefix 12 in
+  let base = base_config () in
+  let base =
+    { base with
+      (* Small budgets give budget-type faults a real tree to hit and
+         keep every row under a few seconds. *)
+      Augment.milp =
+        { base.Augment.milp with BB.node_limit = 300; time_limit = 5. };
+      max_retries = 1 }
+  in
+  printf "%-26s %8s %8s %8s  %s\n" "Site" "Injected" "Certify" "Degrade"
+    "Recorded degradations";
+  let rows = ref [] and failures = ref [] in
+  List.iter
+    (fun site ->
+      Fp_util.Fault.reset ();
+      (* Some recovery paths only exist under a particular topology:
+         worker crashes need concurrent candidate evaluation, task loss
+         needs a parallel MILP frontier, hook faults need a hook. *)
+      let config =
+        match site with
+        | "pool.worker_exn" ->
+          { base with Augment.jobs = 2; candidates = 2 }
+        | "branch_bound.task_loss" ->
+          { base with
+            Augment.jobs = 2;
+            milp = { base.Augment.milp with BB.ramp_nodes = 0 } }
+        | "augment.hook" ->
+          { base with
+            Augment.inspect =
+              Some
+                { Augment.on_model = (fun _ -> ());
+                  on_step = (fun _ _ -> ()) } }
+        | _ -> base
+      in
+      Fp_util.Fault.arm (Fp_util.Fault.spec ~count:2 site);
+      let outcome =
+        match floorplan ~config nl with
+        | res, pl -> Ok (res, pl)
+        | exception e -> Error (Printexc.to_string e)
+      in
+      let injected = Fp_util.Fault.injections site in
+      Fp_util.Fault.disarm site;
+      match outcome with
+      | Error msg ->
+        failures := Printf.sprintf "%s: escaped exception %s" site msg
+                    :: !failures;
+        printf "%-26s %8s %8s %8s  CRASH: %s\n" site "-" "FAIL" "-" msg;
+        rows :=
+          Json.Obj
+            [ ("site", Json.Str site); ("ok", Json.Bool false);
+              ("crash", Json.Str msg) ]
+          :: !rows
+      | Ok (res, pl) ->
+        let errors, _, _ =
+          Fp_check.Diagnostic.count (Fp_check.Certify.placement nl pl)
+        in
+        let degs = List.map snd res.Augment.degradations in
+        let ok =
+          errors = 0 && injected > 0 && degs <> [] && not res.Augment.interrupted
+        in
+        if not ok then
+          failures :=
+            Printf.sprintf "%s: injected=%d certify_errors=%d degradations=%d"
+              site injected errors (List.length degs)
+            :: !failures;
+        printf "%-26s %8d %8s %8d  %s\n" site injected
+          (if errors = 0 then "pass" else "FAIL")
+          (List.length degs)
+          (String.concat "; "
+             (List.sort_uniq compare (List.map Degradation.to_string degs)));
+        rows :=
+          Json.Obj
+            [
+              ("site", Json.Str site);
+              ("injections", Json.Int injected);
+              ("certified", Json.Bool (errors = 0));
+              ( "degradations",
+                Json.List
+                  (List.map (fun d -> Json.Str (Degradation.to_string d)) degs)
+              );
+              ("retries",
+               Json.Int (sum_steps (fun s -> s.Augment.retries) res.Augment.steps));
+              ("ok", Json.Bool ok);
+            ]
+          :: !rows)
+    (Fp_util.Fault.sites ());
+  write_json "fault_matrix"
+    [
+      ("k", Json.Int (Netlist.num_modules nl));
+      ("rows", Json.List (List.rev !rows));
+    ];
+  match !failures with
+  | [] -> printf "\nfault matrix: all %d sites pass\n" (List.length (Fp_util.Fault.sites ()))
+  | fs ->
+    printf "\nfault matrix FAILURES:\n";
+    List.iter (fun f -> printf "  %s\n" f) fs;
+    exit 1
 
 (* --------------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one Test.make per table + kernel ablations  *)
@@ -793,7 +937,7 @@ let run_bechamel () =
 let () =
   let run_t1 = ref false and run_t2 = ref false and run_t3 = ref false in
   let run_figs = ref false and run_abl = ref false and run_bch = ref false in
-  let run_chk = ref false and run_par = ref false in
+  let run_chk = ref false and run_par = ref false and run_flt = ref false in
   let any = ref false in
   let speclist =
     [
@@ -822,6 +966,9 @@ let () =
       ( "--ablation-parallel",
         Arg.Unit (fun () -> any := true; run_par := true),
         "  run only the domain-parallel scaling ablation" );
+      ( "--faults",
+        Arg.Unit (fun () -> any := true; run_flt := true),
+        "  inject every registered fault site; exit 1 unless all recover" );
       ( "--jobs",
         Arg.Set_int jobs,
         "N  worker domains for every floorplan run (default 1)" );
@@ -853,6 +1000,7 @@ let () =
   if !run_figs then figures ();
   if !run_abl then ablations ();
   if !run_par && not !run_abl then ablation_parallel ();
+  if !run_flt then fault_matrix ();
   if !run_chk then check_overhead ();
   if !run_bch then run_bechamel ();
   printf "\ndone.\n"

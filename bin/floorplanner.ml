@@ -18,6 +18,7 @@ module Netlist = Fp_netlist.Netlist
 module Generator = Fp_netlist.Generator
 module Parser = Fp_netlist.Parser
 module BB = Fp_milp.Branch_bound
+module Fault = Fp_util.Fault
 open Fp_core
 
 let setup_logs verbose =
@@ -106,6 +107,124 @@ let candidates_arg =
                  augmentation step; the one with the lowest skyline is \
                  committed.")
 
+let time_budget_arg =
+  Arg.(value & opt (some float) None
+       & info [ "time-budget" ] ~docv:"SECS"
+           ~doc:"Run-level wall-clock budget: the remaining budget is \
+                 apportioned over the remaining augmentation steps, and \
+                 once spent the rest of the modules are committed from \
+                 their warm packings (reported as degradations).")
+
+let retries_arg =
+  Arg.(value & opt int 2
+       & info [ "retries" ] ~docv:"N"
+           ~doc:"Escalated re-attempts for a step whose MILP found no \
+                 solution.")
+
+let checkpoint_arg =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Write a resumable journal to $(docv) after every \
+                 committed augmentation step.")
+
+let resume_arg =
+  Arg.(value & flag
+       & info [ "resume" ]
+           ~doc:"Continue from the journal at --checkpoint instead of \
+                 starting over; the final floorplan is bit-identical to \
+                 an uninterrupted run.")
+
+let stop_after_arg =
+  Arg.(value & opt (some int) None
+       & info [ "stop-after" ] ~docv:"N"
+           ~doc:"Interrupt the run after $(docv) committed steps (for \
+                 testing checkpoint/resume; pair with --checkpoint).")
+
+let faults_arg =
+  Arg.(value & opt (some string) None
+       & info [ "faults" ] ~docv:"SPECS"
+           ~doc:"Comma-separated fault injections, each \
+                 SITE[@AFTER][xCOUNT] (COUNT may be *): arm the named \
+                 fault sites before the run to exercise the recovery \
+                 paths.  Unknown sites are rejected with the list of \
+                 known ones.")
+
+let arm_faults specs =
+  match specs with
+  | None -> Ok ()
+  | Some s ->
+    Fault.reset ();
+    let specs =
+      String.split_on_char ',' s |> List.map String.trim
+      |> List.filter (( <> ) "")
+    in
+    List.fold_left
+      (fun acc spec ->
+        Result.bind acc (fun () ->
+            match Fault.parse spec with
+            | Error e -> Error e
+            | Ok sp ->
+              if List.mem sp.Fault.site (Fault.sites ()) then
+                Ok (Fault.arm sp)
+              else
+                Error
+                  (Printf.sprintf "unknown fault site %S; known sites: %s"
+                     sp.Fault.site
+                     (String.concat ", " (Fault.sites ())))))
+      (Ok ()) specs
+
+let load_resume ~checkpoint ~resume =
+  if not resume then Ok None
+  else
+    match checkpoint with
+    | None -> Error "--resume requires --checkpoint FILE"
+    | Some path ->
+      if not (Sys.file_exists path) then
+        Error (path ^ ": checkpoint not found")
+      else Result.map Option.some (Journal.read ~path)
+
+(* Wrap the inspection hooks so the run aborts cooperatively after [n]
+   committed steps — the deterministic interrupt used by the
+   checkpoint/resume tests. *)
+let with_stop_after n inspect =
+  let count = ref 0 in
+  let on_model, on_step =
+    match inspect with
+    | Some i -> (i.Augment.on_model, i.Augment.on_step)
+    | None -> ((fun _ -> ()), fun _ _ -> ())
+  in
+  Some
+    { Augment.on_model;
+      on_step =
+        (fun stat pl ->
+          on_step stat pl;
+          incr count;
+          if !count >= n then raise Augment.Abort) }
+
+let report_degradations (res : Augment.result) =
+  (match res.Augment.degradations with
+  | [] -> ()
+  | ds ->
+    Printf.printf "degraded   : %d event%s\n" (List.length ds)
+      (if List.length ds = 1 then "" else "s");
+    List.iter
+      (fun (step, d) ->
+        Printf.printf "  step %d: %s\n" step (Degradation.to_string d))
+      ds);
+  if res.Augment.interrupted then
+    Printf.printf "interrupted: yes (continue with --resume)\n"
+
+(* Exit code 3: the run finished feasible but quality-degraded (warm
+   fallbacks, dropped net bounds, deadline truncation).  Informational
+   degradations (recoveries, retries that succeeded) stay at 0. *)
+let degraded_exit (res : Augment.result) =
+  if
+    List.exists
+      (fun (_, d) -> Degradation.degrades_quality d)
+      res.Augment.degradations
+  then 3
+  else 0
+
 let refine_arg =
   Arg.(value & flag
        & info [ "refine" ]
@@ -124,8 +243,8 @@ let svg_arg =
 let ascii_arg =
   Arg.(value & flag & info [ "ascii" ] ~doc:"Print an ASCII rendering.")
 
-let config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed ~jobs
-    ~candidates =
+let config_of ?time_budget ?(retries = 2) ?checkpoint ~width ~group ~ordering
+    ~wire ~envelope ~nodes ~seed ~jobs ~candidates () =
   let d = Augment.default_config in
   {
     d with
@@ -147,6 +266,9 @@ let config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed ~jobs
     milp = { d.Augment.milp with BB.node_limit = nodes };
     jobs;
     candidates;
+    run_time_limit = time_budget;
+    max_retries = retries;
+    checkpoint;
   }
 
 (* ------------------------------ checking ----------------------------- *)
@@ -211,13 +333,20 @@ let lint_arg =
                  partial and the final placement, and print the findings \
                  (exit 1 on any error-severity finding).")
 
-let run_plan nl config refine =
+let run_plan ?resume nl config refine =
   let t0 = Unix.gettimeofday () in
-  let res = Augment.run ~config nl in
-  let pl = Compact.vertical res.Augment.placement in
-  let pl, _ = Topology.optimize ~linearization:config.Augment.linearization nl pl in
+  let res = Augment.run ~config ?resume nl in
   let pl =
-    if refine then fst (Refine.reinsert_top nl pl) else pl
+    (* The finishing passes expect a complete floorplan; an interrupted
+       run reports its partial placement as-is (it is still valid). *)
+    if res.Augment.interrupted then res.Augment.placement
+    else begin
+      let pl = Compact.vertical res.Augment.placement in
+      let pl, _ =
+        Topology.optimize ~linearization:config.Augment.linearization nl pl
+      in
+      if refine then fst (Refine.reinsert_top nl pl) else pl
+    end
   in
   (res, pl, Unix.gettimeofday () -. t0)
 
@@ -236,16 +365,23 @@ let report_plan nl pl dt =
 
 let plan_cmd =
   let run input ami33 random seed verbose width group ordering wire envelope
-      nodes jobs candidates refine slicing svg ascii lint =
+      nodes jobs candidates time_budget retries checkpoint resume stop_after
+      faults refine slicing svg ascii lint =
     setup_logs verbose;
-    match load_instance input ami33 random seed with
+    match
+      let ( let* ) = Result.bind in
+      let* nl = load_instance input ami33 random seed in
+      let* () = arm_faults faults in
+      let* resume = load_resume ~checkpoint ~resume in
+      Ok (nl, resume)
+    with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
       1
-    | Ok nl ->
+    | Ok (nl, resume) ->
       let config =
-        config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed ~jobs
-          ~candidates
+        config_of ?time_budget ~retries ?checkpoint ~width ~group ~ordering
+          ~wire ~envelope ~nodes ~seed ~jobs ~candidates ()
       in
       let findings = ref [] in
       let config =
@@ -255,40 +391,49 @@ let plan_cmd =
             inspect = Some (checking_hooks nl findings) }
         else config
       in
-      let pl, dt =
-        if slicing then begin
-          let sa_cfg =
-            { Fp_slicing.Anneal.default_config with
-              Fp_slicing.Anneal.width_limit = width;
-              wire_weight = Option.value wire ~default:0.;
-              seed }
-          in
-          let pl, stats = Fp_slicing.Anneal.run ~config:sa_cfg nl in
-          (pl, stats.Fp_slicing.Anneal.elapsed)
-        end
-        else
-          let _, pl, dt = run_plan nl config refine in
-          (pl, dt)
+      let config =
+        match stop_after with
+        | None -> config
+        | Some n ->
+          { config with Augment.inspect = with_stop_after n config.Augment.inspect }
       in
-      report_plan nl pl dt;
-      Option.iter
-        (fun path ->
-          Fp_viz.Svg.save path (Fp_viz.Svg.of_placement ~netlist:nl pl);
-          Printf.printf "svg        : %s\n" path)
-        svg;
-      if ascii then print_string (Fp_viz.Ascii.render pl);
-      if lint then begin
-        certify_final nl pl findings;
-        report_findings ~machine:false !findings
+      if slicing then begin
+        let sa_cfg =
+          { Fp_slicing.Anneal.default_config with
+            Fp_slicing.Anneal.width_limit = width;
+            wire_weight = Option.value wire ~default:0.;
+            seed }
+        in
+        let pl, stats = Fp_slicing.Anneal.run ~config:sa_cfg nl in
+        report_plan nl pl stats.Fp_slicing.Anneal.elapsed;
+        0
       end
-      else 0
+      else begin
+        let res, pl, dt = run_plan ?resume nl config refine in
+        report_plan nl pl dt;
+        report_degradations res;
+        Option.iter
+          (fun path ->
+            Fp_viz.Svg.save path (Fp_viz.Svg.of_placement ~netlist:nl pl);
+            Printf.printf "svg        : %s\n" path)
+          svg;
+        if ascii then print_string (Fp_viz.Ascii.render pl);
+        if lint then begin
+          certify_final nl pl findings;
+          match report_findings ~machine:false !findings with
+          | 0 -> degraded_exit res
+          | n -> n
+        end
+        else degraded_exit res
+      end
   in
   let term =
     Term.(
       const run $ input_arg $ ami33_arg $ random_arg $ seed_arg $ verbose_arg
       $ width_arg $ group_arg $ ordering_arg $ objective_arg $ envelope_arg
-      $ nodes_arg $ jobs_arg $ candidates_arg $ refine_arg $ slicing_arg
-      $ svg_arg $ ascii_arg $ lint_arg)
+      $ nodes_arg $ jobs_arg $ candidates_arg $ time_budget_arg $ retries_arg
+      $ checkpoint_arg $ resume_arg $ stop_after_arg $ faults_arg
+      $ refine_arg $ slicing_arg $ svg_arg $ ascii_arg $ lint_arg)
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Floorplan an instance by successive augmentation")
@@ -319,7 +464,7 @@ let route_cmd =
     | Ok nl ->
       let config =
         config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed ~jobs
-          ~candidates
+          ~candidates ()
       in
       let findings = ref [] in
       let config =
@@ -379,16 +524,21 @@ let check_cmd =
                    instead of the human-readable report.")
   in
   let run input ami33 random seed verbose width group ordering wire envelope
-      nodes jobs candidates machine =
+      nodes jobs candidates time_budget retries faults machine =
     setup_logs verbose;
-    match load_instance input ami33 random seed with
+    match
+      let ( let* ) = Result.bind in
+      let* nl = load_instance input ami33 random seed in
+      let* () = arm_faults faults in
+      Ok nl
+    with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
       1
     | Ok nl ->
       let config =
-        config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed ~jobs
-          ~candidates
+        config_of ?time_budget ~retries ~width ~group ~ordering ~wire
+          ~envelope ~nodes ~seed ~jobs ~candidates ()
       in
       let findings = ref [] in
       let config =
@@ -396,15 +546,25 @@ let check_cmd =
           Augment.check = true;
           inspect = Some (checking_hooks nl findings) }
       in
-      let _, pl, _ = run_plan nl config false in
+      let res, pl, _ = run_plan nl config false in
       certify_final nl pl findings;
-      report_findings ~machine !findings
+      let code = report_findings ~machine !findings in
+      let degraded = degraded_exit res in
+      if not machine then begin
+        report_degradations res;
+        Printf.printf "verdict    : %s\n"
+          (if code <> 0 then "INVALID"
+           else if degraded <> 0 then "degraded-feasible"
+           else "optimal path, certified")
+      end;
+      if code <> 0 then code else degraded
   in
   let term =
     Term.(
       const run $ input_arg $ ami33_arg $ random_arg $ seed_arg $ verbose_arg
       $ width_arg $ group_arg $ ordering_arg $ objective_arg $ envelope_arg
-      $ nodes_arg $ jobs_arg $ candidates_arg $ machine_arg)
+      $ nodes_arg $ jobs_arg $ candidates_arg $ time_budget_arg $ retries_arg
+      $ faults_arg $ machine_arg)
   in
   Cmd.v
     (Cmd.info "check"
@@ -412,7 +572,10 @@ let check_cmd =
          "Floorplan an instance with full static and dynamic checking: \
           lint every step's MILP model, certify every partial placement \
           and covering decomposition, and certify the final floorplan.  \
-          Exits 1 when any error-severity finding is produced.")
+          Exits 1 when any error-severity finding is produced, 3 when \
+          the floorplan is feasible but quality-degraded (warm-start \
+          fallbacks, dropped net bounds, deadline truncation), 0 on the \
+          clean optimizing path.")
     term
 
 let gen_cmd =

@@ -4,13 +4,23 @@ module Covering = Fp_geometry.Covering
 module Tol = Fp_geometry.Tol
 module Netlist = Fp_netlist.Netlist
 module Module_def = Fp_netlist.Module_def
+module Net = Fp_netlist.Net
 module Ordering = Fp_netlist.Ordering
 module Branch_bound = Fp_milp.Branch_bound
 module Pool = Fp_util.Pool
+module Fault = Fp_util.Fault
 
 let src = Logs.Src.create "fp.augment" ~doc:"successive augmentation"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+exception Abort
+
+(* Fault sites: a hook raising out of its observation (the run must
+   survive and record it), and a candidate MILP evaluation dying (the
+   candidate is excluded, or the step retries). *)
+let site_hook = Fault.register "augment.hook"
+let site_candidate = Fault.register "augment.candidate_milp"
 
 type envelope_config = { pitch_h : float; pitch_v : float; share : float }
 
@@ -30,7 +40,10 @@ type step_stat = {
   warm_height : float;
   step_height : float;
   step_time : float;
+  time_budget : float;
   candidates_evaluated : int;
+  retries : int;
+  degradations : Degradation.t list;
 }
 
 type inspect = {
@@ -55,6 +68,10 @@ type config = {
   inspect : inspect option;
   jobs : int;
   candidates : int;
+  run_time_limit : float option;
+  max_retries : int;
+  retry_escalation : float;
+  checkpoint : string option;
 }
 
 let default_config =
@@ -82,6 +99,10 @@ let default_config =
     inspect = None;
     jobs = 1;
     candidates = 1;
+    run_time_limit = None;
+    max_retries = 2;
+    retry_escalation = 4.;
+    checkpoint = None;
   }
 
 type result = {
@@ -89,7 +110,60 @@ type result = {
   steps : step_stat list;
   total_time : float;
   config : config;
+  degradations : (int * Degradation.t) list;
+  interrupted : bool;
 }
+
+(* Canonical rendering of everything in the config that shapes the
+   placement trajectory, digested into the checkpoint journal.  [jobs],
+   [milp.jobs] and [milp.ramp_nodes] are deliberately excluded — the
+   deterministic replay makes the trajectory independent of worker
+   scheduling, and resume must work across [--jobs] values.  [check],
+   [inspect] and [checkpoint] are observational.  The two closure fields
+   cannot be digested, only their presence can: resuming with a
+   {e different} bound function or objective weight of the same shape is
+   on the caller. *)
+let config_digest cfg =
+  let b = Buffer.create 256 in
+  let p fmt = Printf.bprintf b fmt in
+  (match cfg.chip_width with None -> p "w:auto;" | Some w -> p "w:%h;" w);
+  p "g:%d;" cfg.group_size;
+  (match cfg.ordering with
+  | `Linear -> p "ord:linear;"
+  | `Random seed -> p "ord:random:%d;" seed
+  | `Area_desc -> p "ord:area_desc;");
+  (match cfg.objective with
+  | Formulation.Min_height -> p "obj:height;"
+  | Formulation.Min_height_plus_wire lambda -> p "obj:wire:%h;" lambda);
+  p "rot:%b;" cfg.allow_rotation;
+  p "lin:%s;"
+    (match cfg.linearization with
+    | Formulation.Tangent -> "tangent"
+    | Formulation.Secant -> "secant");
+  p "cov:%b;" cfg.use_covering;
+  (match cfg.max_cover_rects with
+  | None -> p "maxcov:none;"
+  | Some m -> p "maxcov:%d;" m);
+  (match cfg.envelope with
+  | None -> p "env:none;"
+  | Some e -> p "env:%h:%h:%h;" e.pitch_h e.pitch_v e.share);
+  p "compact:%b;" cfg.compact_each_step;
+  p "netbound:%b;" (cfg.critical_net_bound <> None);
+  let m = cfg.milp in
+  p "milp:%d:%h:%h:%h:%s:%b:%b:%b;" m.Branch_bound.node_limit
+    m.Branch_bound.time_limit m.Branch_bound.int_tol
+    m.Branch_bound.min_improvement
+    (match m.Branch_bound.branch_rule with
+    | Branch_bound.Most_fractional -> "mf"
+    | Branch_bound.First_fractional -> "ff")
+    m.Branch_bound.warm_lp m.Branch_bound.shadow_cold
+    m.Branch_bound.deterministic;
+  p "cand:%d;" cfg.candidates;
+  (match cfg.run_time_limit with
+  | None -> p "deadline:none;"
+  | Some l -> p "deadline:%h;" l);
+  p "retries:%d:%h;" cfg.max_retries cfg.retry_escalation;
+  Digest.to_hex (Digest.string (Buffer.contents b))
 
 let margins_of cfg nl id =
   match cfg.envelope with
@@ -175,9 +249,59 @@ type eval = {
   e_warm_height : float;
   e_placement : Placement.t;
   e_skyline : Skyline.t;
+  e_degradations : Degradation.t list;
 }
 
-let evaluate cfg nl ~chip_width ~skyline ~placement ~pool ~milp group =
+(* Fabricated outcome for steps whose MILP never ran (deadline-truncated
+   warm-only commits): all-zero effort, no incumbent. *)
+let no_outcome =
+  {
+    Branch_bound.status = Branch_bound.No_solution; best = None; nodes = 0;
+    lp_solves = 0; warm_hits = 0; cold_solves = 0; refactorizations = 0;
+    pivots = 0; shadow_pivots = 0; numerical_recoveries = 0; tasks_lost = 0;
+    root_bound = nan; elapsed = 0.;
+    per_domain = [||]; frontier_tasks = 0; waves = 0;
+  }
+
+(* Silicon rectangle of a warm-start choice, mirroring
+   [Formulation.extract] exactly — the direct-commit path for when even
+   the warm point's MILP encoding is rejected by numerics. *)
+let placed_of_choice (it : Formulation.item) (c : Warm_start.choice) =
+  let l, r, mb, mt = it.Formulation.margins in
+  let env = c.Warm_start.envelope in
+  let silicon =
+    match it.Formulation.def.Module_def.shape with
+    | Module_def.Rigid { w; h } ->
+      if c.Warm_start.rotated then
+        (* Margins rotate with the module: (l,r,b,t) -> (b,t,l,r). *)
+        Rect.make ~x:(env.Rect.x +. mb) ~y:(env.Rect.y +. l) ~w:h ~h:w
+      else Rect.make ~x:(env.Rect.x +. l) ~y:(env.Rect.y +. mb) ~w ~h
+    | Module_def.Flexible { area; _ } ->
+      let w_sil = Float.max Tol.eps (env.Rect.w -. l -. r) in
+      let h_sil = area /. w_sil in
+      Rect.make ~x:(env.Rect.x +. l) ~y:(env.Rect.y +. mb) ~w:w_sil ~h:h_sil
+  in
+  ignore r;
+  ignore mt;
+  (env, silicon, c.Warm_start.rotated)
+
+(* Net names whose configured length bound is exceeded in [placement]
+   (only nets with every pin placed can be measured). *)
+let nets_over_bound cfg nl placement =
+  match cfg.critical_net_bound with
+  | None -> []
+  | Some bound_fn ->
+    List.filter_map
+      (fun net ->
+        match bound_fn net with
+        | None -> None
+        | Some b -> (
+          match Metrics.net_hpwl nl placement net with
+          | Some len when len > b +. 1e-6 -> Some net.Net.name
+          | _ -> None))
+      (Netlist.nets nl)
+
+let evaluate cfg nl ~chip_width ~skyline ~placement ~pool ~mode group =
   (* Largest modules first: their pair binaries are declared first, so
      First_fractional branching decides the big shapes early. *)
   let group =
@@ -241,26 +365,65 @@ let evaluate cfg nl ~chip_width ~skyline ~placement ~pool ~milp group =
       Log.warn (fun f -> f "warm start unusable: %s" msg);
       None
   in
-  let outcome =
-    Branch_bound.solve ~params:milp ?warm:warm_sol ?pool
-      built.Formulation.model
+  let degradations = ref [] in
+  let degrade d = degradations := d :: !degradations in
+  (* [sol = None] means "no MILP-encoded point at all": the group is
+     committed geometrically from the warm choices. *)
+  let outcome, sol =
+    match mode with
+    | `Warm_only reason ->
+      degrade reason;
+      (no_outcome, warm_sol)
+    | `Solve milp ->
+      Fault.trip site_candidate;
+      let outcome =
+        Branch_bound.solve ~params:milp ?warm:warm_sol ?pool
+          built.Formulation.model
+      in
+      if outcome.Branch_bound.numerical_recoveries > 0 then
+        degrade
+          (Degradation.Numerical_recovery
+             outcome.Branch_bound.numerical_recoveries);
+      if outcome.Branch_bound.tasks_lost > 0 then
+        degrade (Degradation.Task_lost outcome.Branch_bound.tasks_lost);
+      (match (outcome.Branch_bound.best, warm_sol) with
+      | Some (x, _), Some w
+        when outcome.Branch_bound.status <> Branch_bound.Optimal && x = w ->
+        (* The budget ran out and the "incumbent" is just the warm
+           packing the search was seeded with — optimization never
+           improved on the heuristic. *)
+        degrade Degradation.Budget_exhausted_warm_fallback;
+        (outcome, Some x)
+      | Some (x, _), _ -> (outcome, Some x)
+      | None, Some w ->
+        (match outcome.Branch_bound.status with
+        | Branch_bound.No_solution ->
+          Log.warn (fun f ->
+              f "MILP step found no solution; falling back to warm start");
+          degrade Degradation.Budget_exhausted_warm_fallback
+        | _ ->
+          (* The linearized model rejects every point (typically a net
+             length bound no placement of this group can satisfy any
+             more); the geometric packing is still sound. *)
+          Log.warn (fun f ->
+              f "MILP step infeasible; committing warm packing");
+          degrade Degradation.Raw_warm_packing);
+        (outcome, Some w)
+      | None, None ->
+        Log.err (fun f ->
+            f "MILP step failed outright; using raw warm packing");
+        degrade Degradation.Raw_warm_packing;
+        (outcome, None))
   in
-  let sol =
-    match (outcome.Branch_bound.best, warm_sol) with
-    | Some (x, _), _ -> x
-    | None, Some w ->
-      Log.warn (fun f ->
-          f "MILP step found no solution; falling back to warm start");
-      w
-    | None, None ->
+  let extracted =
+    match sol with
+    | Some sol -> Formulation.extract built sol
+    | None ->
       (* Last resort: trust the geometric warm placement even though
          the model rejected its encoding. *)
-      Log.err (fun f -> f "MILP step failed outright; using raw warm packing");
-      Formulation.assign_warm built
-        (fun k -> warm.(k).Warm_start.envelope)
-        ~rotated:(fun k -> warm.(k).Warm_start.rotated)
+      Array.mapi (fun k c -> placed_of_choice items.(k) c) warm
   in
-  let extracted = Formulation.extract built sol in
+  let pre_placement = placement in
   let placement = ref placement in
   Array.iteri
     (fun k (envelope, silicon, rotated) ->
@@ -269,6 +432,16 @@ let evaluate cfg nl ~chip_width ~skyline ~placement ~pool ~milp group =
           { Placement.module_id = ids.(k); rect = silicon; envelope; rotated })
     extracted;
   if cfg.compact_each_step then placement := Compact.vertical !placement;
+  (* Surface critical nets whose bound the committed placement exceeds —
+     the documented best-effort fallback, now with names attached.  Nets
+     already over bound before this step were reported when it happened. *)
+  (match nets_over_bound cfg nl !placement with
+  | [] -> ()
+  | over -> (
+    let before = nets_over_bound cfg nl pre_placement in
+    match List.filter (fun n -> not (List.mem n before)) over with
+    | [] -> ()
+    | dropped -> degrade (Degradation.Net_bound_dropped dropped)));
   let skyline =
     Skyline.of_rects ~width:chip_width (Placement.envelopes !placement)
   in
@@ -280,112 +453,331 @@ let evaluate cfg nl ~chip_width ~skyline ~placement ~pool ~milp group =
     e_warm_height = warm_height;
     e_placement = !placement;
     e_skyline = skyline;
+    e_degradations = List.rev !degradations;
   }
 
-let run ?(config = default_config) nl =
+let run ?(config = default_config) ?resume nl =
   let cfg = config in
   if Netlist.num_modules nl = 0 then
     invalid_arg "Augment.run: empty instance";
   if cfg.group_size < 1 then invalid_arg "Augment.run: group_size < 1";
   if cfg.jobs < 1 then invalid_arg "Augment.run: jobs < 1";
   if cfg.candidates < 1 then invalid_arg "Augment.run: candidates < 1";
+  if cfg.max_retries < 0 then invalid_arg "Augment.run: max_retries < 0";
+  if cfg.retry_escalation < 1. then
+    invalid_arg "Augment.run: retry_escalation < 1";
   let t0 = Unix.gettimeofday () in
+  let run_deadline = Option.map (fun l -> t0 +. l) cfg.run_time_limit in
   let chip_width =
     match cfg.chip_width with
     | Some w -> w
     | None -> derive_chip_width cfg nl
   in
-  let order = ordering_of cfg nl in
-  let groups = Ordering.groups ~size:cfg.group_size order in
+  let cfg_digest = config_digest cfg in
+  let inst_digest = Journal.digest_instance nl in
+  let start_placement, start_skyline, start_groups, steps_done0 =
+    match resume with
+    | None ->
+      let order = ordering_of cfg nl in
+      ( Placement.empty ~chip_width,
+        Skyline.create ~width:chip_width,
+        Ordering.groups ~size:cfg.group_size order,
+        0 )
+    | Some (j : Journal.t) ->
+      if j.Journal.config_digest <> cfg_digest then
+        invalid_arg
+          "Augment.run: checkpoint was written under a different \
+           configuration";
+      if j.Journal.instance_digest <> inst_digest then
+        invalid_arg "Augment.run: checkpoint belongs to a different instance";
+      if j.Journal.chip_width <> chip_width then
+        invalid_arg "Augment.run: checkpoint chip width mismatch";
+      ( j.Journal.placement,
+        Skyline.of_rects ~width:chip_width
+          (Placement.envelopes j.Journal.placement),
+        j.Journal.remaining,
+        j.Journal.steps_done )
+  in
+  let write_checkpoint ~steps_done ~placement ~remaining =
+    match cfg.checkpoint with
+    | None -> ()
+    | Some path ->
+      Journal.write ~path
+        { Journal.config_digest = cfg_digest; instance_digest = inst_digest;
+          chip_width; steps_done; placement; remaining }
+  in
   let with_pool k =
     if cfg.jobs > 1 then Pool.with_pool ~jobs:cfg.jobs (fun p -> k (Some p))
     else k None
   in
   with_pool @@ fun pool ->
-  let skyline = ref (Skyline.create ~width:chip_width) in
-  let placement = ref (Placement.empty ~chip_width) in
+  let skyline = ref start_skyline in
+  let placement = ref start_placement in
   let steps = ref [] in
-  let rec augment remaining =
-    match remaining with
-    | [] -> ()
-    | _ :: _ ->
-      let step_start = Unix.gettimeofday () in
-      let n_cand = Int.min cfg.candidates (List.length remaining) in
-      let cands =
-        Array.of_list (List.filteri (fun i _ -> i < n_cand) remaining)
-      in
-      let evals =
-        if n_cand = 1 then
-          (* Single candidate: all the parallelism goes into the MILP
-             itself, which shares the run-wide pool. *)
-          [| evaluate cfg nl ~chip_width ~skyline:!skyline
-               ~placement:!placement ~pool ~milp:cfg.milp cands.(0) |]
-        else begin
-          (* Several candidates: one per pool task, each MILP sequential
-             inside its task — pool batches must not nest. *)
-          let milp = { cfg.milp with Branch_bound.jobs = 1 } in
-          let eval1 k =
-            evaluate cfg nl ~chip_width ~skyline:!skyline
-              ~placement:!placement ~pool:None ~milp cands.(k)
-          in
-          match pool with
-          | Some p -> Pool.map p ~n:n_cand (fun ~worker:_ k -> eval1 k)
-          | None -> Array.init n_cand eval1
-        end
-      in
-      (* Commit the candidate with the lowest resulting skyline; ties go
-         to the earliest candidate in the ordering, so the choice is
-         independent of how the pool scheduled the evaluations. *)
-      let best = ref 0 in
-      Array.iteri
-        (fun i e ->
-          if
-            Skyline.max_height e.e_skyline
-            < Skyline.max_height evals.(!best).e_skyline
-          then best := i)
-        evals;
-      let e = evals.(!best) in
-      (* Hooks observe only the committed candidate: they run on the
-         calling domain, after selection. *)
-      Option.iter (fun i -> i.on_model e.e_built) cfg.inspect;
-      placement := e.e_placement;
-      skyline := e.e_skyline;
-      let outcome = e.e_outcome in
-      let stat =
-        {
-          group = e.e_group;
-          num_integer_vars =
-            Fp_milp.Model.num_integer_vars e.e_built.Formulation.model;
-          num_constraints =
-            Fp_milp.Model.num_constrs e.e_built.Formulation.model;
-          num_cover_rects = e.e_num_obstacles;
-          milp_status = outcome.Branch_bound.status;
-          nodes = outcome.Branch_bound.nodes;
-          lp_solves = outcome.Branch_bound.lp_solves;
-          warm_hits = outcome.Branch_bound.warm_hits;
-          cold_solves = outcome.Branch_bound.cold_solves;
-          pivots = outcome.Branch_bound.pivots;
-          shadow_pivots = outcome.Branch_bound.shadow_pivots;
-          refactorizations = outcome.Branch_bound.refactorizations;
-          warm_height = e.e_warm_height;
-          step_height = Skyline.max_height !skyline;
-          step_time = Unix.gettimeofday () -. step_start;
-          candidates_evaluated = n_cand;
-        }
-      in
-      Log.info (fun f ->
-          f "step [%s]: %d ints, %d rows, %d covers, %d nodes, h=%.2f (warm %.2f)"
-            (String.concat "," (List.map string_of_int stat.group))
-            stat.num_integer_vars stat.num_constraints stat.num_cover_rects
-            stat.nodes stat.step_height stat.warm_height);
-      Option.iter (fun i -> i.on_step stat !placement) cfg.inspect;
-      steps := stat :: !steps;
-      augment (List.filteri (fun i _ -> i <> !best) remaining)
+  let step_no = ref steps_done0 in
+  let run_degr = ref [] in
+  let remaining = ref start_groups in
+  let interrupted = ref false in
+  (* Escalation ladder for a retried step: multiply the node and time
+     budgets, bounded so a pathological step cannot take the run down
+     with it.  The time side additionally never exceeds what is left of
+     the run deadline. *)
+  let escalate base attempt ~deadline_left =
+    let f = cfg.retry_escalation ** float_of_int attempt in
+    let node_limit =
+      let n = float_of_int base.Branch_bound.node_limit *. f in
+      if n > 10_000_000. then 10_000_000 else int_of_float n
+    in
+    let time_limit =
+      Float.min (base.Branch_bound.time_limit *. f) deadline_left
+    in
+    { base with Branch_bound.node_limit; time_limit }
   in
-  augment groups;
+  (* Hook guard: hooks observe, they must not kill the run.  [Abort] is
+     the one exception with sanctioned pass-through — it is the
+     cooperative-interrupt signal. *)
+  let guard_hook name f =
+    try
+      Fault.trip site_hook;
+      f ()
+    with
+    | Abort -> raise Abort
+    | exn ->
+      let msg = name ^ ": " ^ Printexc.to_string exn in
+      Log.warn (fun l -> l "inspection hook failed: %s" msg);
+      run_degr := (!step_no, Degradation.Hook_failed msg) :: !run_degr
+  in
+  let commit ~step_start ~time_budget ~n_cand ~retries ~extra_degr
+      ~new_remaining e =
+    incr step_no;
+    placement := e.e_placement;
+    skyline := e.e_skyline;
+    remaining := new_remaining;
+    let degradations = e.e_degradations @ extra_degr in
+    let outcome = e.e_outcome in
+    let stat =
+      {
+        group = e.e_group;
+        num_integer_vars =
+          Fp_milp.Model.num_integer_vars e.e_built.Formulation.model;
+        num_constraints =
+          Fp_milp.Model.num_constrs e.e_built.Formulation.model;
+        num_cover_rects = e.e_num_obstacles;
+        milp_status = outcome.Branch_bound.status;
+        nodes = outcome.Branch_bound.nodes;
+        lp_solves = outcome.Branch_bound.lp_solves;
+        warm_hits = outcome.Branch_bound.warm_hits;
+        cold_solves = outcome.Branch_bound.cold_solves;
+        pivots = outcome.Branch_bound.pivots;
+        shadow_pivots = outcome.Branch_bound.shadow_pivots;
+        refactorizations = outcome.Branch_bound.refactorizations;
+        warm_height = e.e_warm_height;
+        step_height = Skyline.max_height !skyline;
+        step_time = Unix.gettimeofday () -. step_start;
+        time_budget;
+        candidates_evaluated = n_cand;
+        retries;
+        degradations;
+      }
+    in
+    Log.info (fun f ->
+        f "step [%s]: %d ints, %d rows, %d covers, %d nodes, h=%.2f (warm %.2f)%s"
+          (String.concat "," (List.map string_of_int stat.group))
+          stat.num_integer_vars stat.num_constraints stat.num_cover_rects
+          stat.nodes stat.step_height stat.warm_height
+          (match degradations with
+          | [] -> ""
+          | ds ->
+            " degraded: "
+            ^ String.concat ", " (List.map Degradation.to_string ds)));
+    steps := stat :: !steps;
+    List.iter (fun d -> run_degr := (!step_no, d) :: !run_degr) degradations;
+    (* Journal before the hooks: a hook-driven interrupt must land after
+       the commit it observed, or resume would redo the step. *)
+    write_checkpoint ~steps_done:!step_no ~placement:!placement
+      ~remaining:new_remaining;
+    (match cfg.inspect with
+    | None -> ()
+    | Some i ->
+      guard_hook "on_model" (fun () -> i.on_model e.e_built);
+      guard_hook "on_step" (fun () -> i.on_step stat !placement))
+  in
+  (* One attempt at the head step: evaluate up to [candidates] groups,
+     pick the lowest-skyline one.  Returns the committed-or-retryable
+     verdict; candidate failures are excluded from selection. *)
+  let attempt_candidates ~milp =
+    let n_cand = Int.min cfg.candidates (List.length !remaining) in
+    let cands =
+      Array.of_list (List.filteri (fun i _ -> i < n_cand) !remaining)
+    in
+    let eval1 ~pool ~milp k =
+      try
+        Ok
+          (evaluate cfg nl ~chip_width ~skyline:!skyline
+             ~placement:!placement ~pool ~mode:(`Solve milp) cands.(k))
+      with
+      | Abort -> raise Abort
+      | exn -> Error (Printexc.to_string exn)
+    in
+    let worker_failure = ref None in
+    let evals =
+      if n_cand = 1 then
+        (* Single candidate: all the parallelism goes into the MILP
+           itself, which shares the run-wide pool. *)
+        [| eval1 ~pool ~milp 0 |]
+      else begin
+        (* Several candidates: one per pool task, each MILP sequential
+           inside its task — pool batches must not nest. *)
+        let milp1 = { milp with Branch_bound.jobs = 1 } in
+        match pool with
+        | Some p -> (
+          try Pool.map p ~n:n_cand (fun ~worker:_ k -> eval1 ~pool:None ~milp:milp1 k)
+          with
+          | Abort -> raise Abort
+          | exn ->
+            (* The pool itself failed; evaluate sequentially on the
+               calling domain instead of giving up on the step. *)
+            worker_failure := Some (Printexc.to_string exn);
+            Array.init n_cand (eval1 ~pool:None ~milp:milp1))
+        | None -> Array.init n_cand (eval1 ~pool:None ~milp:milp1)
+      end
+    in
+    let failures = ref [] in
+    let ok = ref [] in
+    Array.iteri
+      (fun i r ->
+        match r with
+        | Ok e -> ok := (i, e) :: !ok
+        | Error msg ->
+          Log.warn (fun f -> f "candidate %d failed: %s" i msg);
+          failures := Degradation.Candidate_failed msg :: !failures)
+      evals;
+    let extra_degr =
+      List.rev !failures
+      @
+      match !worker_failure with
+      | None -> []
+      | Some msg -> [ Degradation.Worker_failure msg ]
+    in
+    (* Commit the candidate with the lowest resulting skyline; ties go
+       to the earliest candidate in the ordering, so the choice is
+       independent of how the pool scheduled the evaluations. *)
+    let best =
+      List.fold_left
+        (fun acc (i, e) ->
+          match acc with
+          | None -> Some (i, e)
+          | Some (bi, be) ->
+            if
+              Skyline.max_height e.e_skyline
+              < Skyline.max_height be.e_skyline
+              || (Skyline.max_height e.e_skyline
+                  = Skyline.max_height be.e_skyline
+                 && i < bi)
+            then Some (i, e)
+            else acc)
+        None (List.rev !ok)
+    in
+    (n_cand, extra_degr, best)
+  in
+  (try
+     while !remaining <> [] do
+       let step_start = Unix.gettimeofday () in
+       let deadline_left =
+         match run_deadline with
+         | None -> infinity
+         | Some dl -> dl -. step_start
+       in
+       if deadline_left <= 0. then begin
+         (* Run deadline expired: the remaining groups are committed
+            from their warm packings, no MILP — the engine stays
+            anytime and every commit is still overlap-free. *)
+         let group = List.hd !remaining in
+         let e =
+           evaluate cfg nl ~chip_width ~skyline:!skyline
+             ~placement:!placement ~pool:None
+             ~mode:(`Warm_only Degradation.Deadline_truncated) group
+         in
+         commit ~step_start ~time_budget:0. ~n_cand:0 ~retries:0
+           ~extra_degr:[] ~new_remaining:(List.tl !remaining) e
+       end
+       else begin
+         (* Apportion what is left of the run budget over the steps
+            still to do, never exceeding the configured per-step cap. *)
+         let steps_left = List.length !remaining in
+         let share = deadline_left /. float_of_int steps_left in
+         let base_milp =
+           { cfg.milp with
+             Branch_bound.time_limit =
+               Float.min cfg.milp.Branch_bound.time_limit share }
+         in
+         let rec attempt k =
+           let milp = escalate base_milp k ~deadline_left in
+           let n_cand, extra_degr, best = attempt_candidates ~milp in
+           let retry_degr =
+             if k > 0 then [ Degradation.Retry_escalated k ] else []
+           in
+           match best with
+           | Some (bi, e) ->
+             (* Budget-type shortfalls — no incumbent at all, or an
+                incumbent that never improved on the warm packing — are
+                exactly what a bigger budget can fix: retry before
+                settling.  Infeasibility is not retried (no budget can
+                fix it; the warm fallback commits immediately). *)
+             let budget_shortfall =
+               (e.e_outcome.Branch_bound.best = None
+               && e.e_outcome.Branch_bound.status = Branch_bound.No_solution)
+               || List.mem Degradation.Budget_exhausted_warm_fallback
+                    e.e_degradations
+             in
+             if budget_shortfall && k < cfg.max_retries then begin
+               Log.info (fun f ->
+                   f "step stuck at its warm start; retry %d with escalated \
+                      budget"
+                     (k + 1));
+               attempt (k + 1)
+             end
+             else
+               commit ~step_start
+                 ~time_budget:milp.Branch_bound.time_limit ~n_cand
+                 ~retries:k ~extra_degr:(retry_degr @ extra_degr)
+                 ~new_remaining:
+                   (List.filteri (fun i _ -> i <> bi) !remaining)
+                 e
+           | None ->
+             if k < cfg.max_retries then begin
+               Log.warn (fun f ->
+                   f "every candidate failed; retry %d with escalated budget"
+                     (k + 1));
+               attempt (k + 1)
+             end
+             else begin
+               (* Out of retries with nothing evaluable: commit the head
+                  group geometrically so the run still terminates with a
+                  feasible floorplan. *)
+               let group = List.hd !remaining in
+               let e =
+                 evaluate cfg nl ~chip_width ~skyline:!skyline
+                   ~placement:!placement ~pool:None
+                   ~mode:(`Warm_only Degradation.Raw_warm_packing) group
+               in
+               commit ~step_start
+                 ~time_budget:milp.Branch_bound.time_limit ~n_cand
+                 ~retries:k ~extra_degr:(retry_degr @ extra_degr)
+                 ~new_remaining:(List.tl !remaining) e
+             end
+         in
+         attempt 0
+       end
+     done
+   with Abort ->
+     Log.info (fun f -> f "run aborted by hook after %d steps" !step_no);
+     interrupted := true);
   {
     placement = !placement;
     steps = List.rev !steps;
     total_time = Unix.gettimeofday () -. t0;
     config = cfg;
+    degradations = List.rev !run_degr;
+    interrupted = !interrupted;
   }

@@ -16,7 +16,30 @@
 
     The chip width is fixed and height is minimized, so the MILP count of
     integer variables stays roughly constant per step and total time
-    grows roughly linearly in the number of groups — Table 1's claim. *)
+    grows roughly linearly in the number of groups — Table 1's claim.
+
+    {2 Resilience}
+
+    The engine is {e anytime}: every step commits some overlap-free
+    placement of its group, and every way a step falls short of the
+    clean optimizing path is recorded as a {!Degradation.t} in the
+    step's {!step_stat} and in the run's {!result} — never only as a
+    log line.  The ladder, top to bottom: solve the MILP; retry with
+    escalated node/time budgets ([max_retries], [retry_escalation]) on
+    budget-type failures; fall back to the step's warm bottom-left
+    packing; commit the packing geometrically even when its MILP
+    encoding is rejected.  A run-level deadline ([run_time_limit]) is
+    apportioned over the remaining steps and, once expired, remaining
+    groups are committed warm-only ([Deadline_truncated]).  With
+    [checkpoint] set, a journal ({!Journal}) is written after every
+    committed step; an interrupted run resumed from it ([?resume])
+    reproduces the uninterrupted run's floorplan bit-for-bit.
+
+    Fault sites (for {!Fp_util.Fault}): ["augment.hook"] makes an
+    inspection hook fail (recorded as [Hook_failed], run continues);
+    ["augment.candidate_milp"] kills one candidate evaluation (recorded
+    as [Candidate_failed]; the step retries when no candidate
+    survives).  See [docs/robustness.md]. *)
 
 type envelope_config = {
   pitch_h : float;
@@ -44,10 +67,22 @@ type step_stat = {
   refactorizations : int;        (** basis refactorizations across node LPs *)
   warm_height : float;           (** bottom-left incumbent height *)
   step_height : float;           (** chip height after this step *)
-  step_time : float;             (** seconds, including rejected candidates *)
+  step_time : float;             (** seconds, including rejected candidates
+                                     and retries *)
+  time_budget : float;
+      (** MILP wall-clock budget the committed attempt ran under — the
+          per-step cap, shrunk by run-deadline apportionment, grown by
+          retry escalation; [0] for deadline-truncated steps *)
   candidates_evaluated : int;
       (** candidate groups whose MILPs were solved this step; the stats
-          above describe only the committed one *)
+          above describe only the committed one.  [0] for
+          deadline-truncated steps (no MILP ran) *)
+  retries : int;
+      (** escalated re-attempts before this step committed; [0] on the
+          clean path *)
+  degradations : Degradation.t list;
+      (** every way this step fell short of the clean optimizing path;
+          empty on a healthy step *)
 }
 
 type inspect = {
@@ -64,8 +99,14 @@ type inspect = {
     depend on [Fp_check] (the checker certifies this library's output),
     so callers that want every model linted and every partial placement
     certified inject the checks here — see the [check] subcommand and
-    [--lint] flag of [bin/floorplanner.ml].  Exceptions raised by a hook
-    abort the run. *)
+    [--lint] flag of [bin/floorplanner.ml].
+
+    A hook that raises {!Abort} interrupts the run cooperatively: [run]
+    returns the partial result (with [interrupted = true]) after the
+    commit the hook observed — and after the checkpoint journal for
+    that commit was written, so the run is resumable.  Any {e other}
+    exception from a hook is contained and recorded as a [Hook_failed]
+    degradation; hooks observe, they cannot kill the run. *)
 
 type config = {
   chip_width : float option;
@@ -91,7 +132,10 @@ type config = {
           step that sees the net; {e best-effort across steps} — if an
           earlier group already stretched the net so far that a later
           step cannot satisfy the bound, that step falls back to its
-          warm start (and logs a warning) rather than failing the run *)
+          warm start rather than failing the run, and the step's
+          {!step_stat} records a [Net_bound_dropped] degradation naming
+          exactly the nets whose bound the committed placement newly
+          exceeds *)
   milp : Fp_milp.Branch_bound.params;
   check : bool;
       (** run {!Formulation.self_check} on every step's model (raises on
@@ -114,26 +158,76 @@ type config = {
           Changes the greedy search — results differ from
           [candidates = 1] by construction — but stays deterministic for
           a fixed config. *)
+  run_time_limit : float option;
+      (** run-level wall-clock budget in seconds (default [None]).  The
+          remaining budget is re-apportioned before every step —
+          [share = time_left / steps_left] — and caps that step's MILP
+          time limit; once the budget is spent, remaining groups are
+          committed from their warm packings ([Deadline_truncated]).
+          The run {e always} finishes with a full feasible placement. *)
+  max_retries : int;
+      (** escalated re-attempts for a step whose MILP found no solution
+          or whose candidates all failed (default [2]) *)
+  retry_escalation : float;
+      (** node/time budget multiplier per retry (default [4.]); node
+          budgets are capped at 10 million *)
+  checkpoint : string option;
+      (** journal path (default [None]).  When set, a {!Journal} is
+          written atomically after {e every} committed step; pass the
+          parsed journal back as [?resume] to continue an interrupted
+          run.  See [docs/robustness.md] for the format. *)
 }
 
 val default_config : config
 (** group size 4, linear ordering, area objective, rotation on, secant
     linearization, covering on, no envelopes, MILP budget 4000 nodes /
     20 s per step, no checks, no hooks, sequential ([jobs = 1],
-    [candidates = 1]). *)
+    [candidates = 1]), no run deadline, 2 retries at 4x escalation, no
+    checkpoint. *)
+
+exception Abort
+(** Cooperative interrupt: raised by an inspection hook to stop the run
+    after the current commit.  [run] catches it and returns the partial
+    result; every other hook exception is contained as a degradation. *)
 
 type result = {
   placement : Placement.t;
   steps : step_stat list;
+      (** stats of the steps {e this} run executed — a resumed run only
+          reports the steps after the checkpoint *)
   total_time : float;
   config : config;
+  degradations : (int * Degradation.t) list;
+      (** run-level summary: every degradation with the 1-based global
+          step number it occurred at (checkpoint offset included).
+          Empty means the clean optimizing path was taken throughout —
+          the condition for CLI exit code 0. *)
+  interrupted : bool;
+      (** [true] when a hook raised {!Abort}; the placement is partial *)
 }
 
-val run : ?config:config -> Fp_netlist.Netlist.t -> result
+val config_digest : config -> string
+(** Hex MD5 of the configuration fields that shape the placement
+    trajectory.  Excludes [jobs] (and the MILP's worker fields) —
+    determinism holds across worker counts, so a checkpoint taken at
+    [--jobs 4] may be resumed at [--jobs 1] — and the observational
+    fields ([check], [inspect], [checkpoint]); closures contribute
+    presence only. *)
+
+val run :
+  ?config:config -> ?resume:Journal.t -> Fp_netlist.Netlist.t -> result
 (** Run the full successive-augmentation floorplanner on an instance.
-    Deterministic for a fixed config.  @raise Invalid_argument on an
-    instance with no modules or a chip width too small for some
-    module. *)
+    Deterministic for a fixed config (without a [run_time_limit]; wall
+    clock budgets are inherently timing-dependent).
+
+    [resume], when given, must be a journal written by a run with the
+    same {!config_digest} and the same instance; the run continues from
+    the journaled partial placement and remaining ordering, and the
+    final floorplan is bit-identical to the uninterrupted run's.
+
+    @raise Invalid_argument on an instance with no modules, a chip
+    width too small for some module, or a checkpoint/config/instance
+    mismatch. *)
 
 val items_of_group :
   config -> Fp_netlist.Netlist.t -> int list -> Formulation.item list

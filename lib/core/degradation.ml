@@ -1,0 +1,39 @@
+type t =
+  | Budget_exhausted_warm_fallback
+  | Raw_warm_packing
+  | Net_bound_dropped of string list
+  | Numerical_recovery of int
+  | Retry_escalated of int
+  | Deadline_truncated
+  | Hook_failed of string
+  | Candidate_failed of string
+  | Worker_failure of string
+  | Task_lost of int
+
+let severity = function
+  | Numerical_recovery _ | Task_lost _ | Hook_failed _ | Candidate_failed _
+  | Worker_failure _ | Retry_escalated _ -> 0
+  | Budget_exhausted_warm_fallback | Deadline_truncated -> 1
+  | Net_bound_dropped _ | Raw_warm_packing -> 2
+
+let degrades_quality t = severity t >= 1
+
+(* Exception texts can contain anything; keep the rendering single-line
+   and parenthesis-free so the whole value stays greppable. *)
+let clean s =
+  String.map (fun c -> if c = '\n' || c = '(' || c = ')' then ' ' else c) s
+
+let to_string = function
+  | Budget_exhausted_warm_fallback -> "budget_exhausted_warm_fallback"
+  | Raw_warm_packing -> "raw_warm_packing"
+  | Net_bound_dropped nets ->
+    Printf.sprintf "net_bound_dropped(%s)" (String.concat "," nets)
+  | Numerical_recovery n -> Printf.sprintf "numerical_recovery(%d)" n
+  | Retry_escalated n -> Printf.sprintf "retry_escalated(%d)" n
+  | Deadline_truncated -> "deadline_truncated"
+  | Hook_failed msg -> Printf.sprintf "hook_failed(%s)" (clean msg)
+  | Candidate_failed msg -> Printf.sprintf "candidate_failed(%s)" (clean msg)
+  | Worker_failure msg -> Printf.sprintf "worker_failure(%s)" (clean msg)
+  | Task_lost n -> Printf.sprintf "task_lost(%d)" n
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

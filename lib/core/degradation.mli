@@ -1,0 +1,68 @@
+(** Structured degradation taxonomy for the resilient solve engine.
+
+    Successive augmentation is an anytime algorithm: every step commits
+    {e some} certified-feasible placement of its group, but not always
+    the one the MILP would have proven optimal.  Each way a step can
+    fall short of the clean path is a [Degradation.t], recorded in the
+    step's {!Augment.step_stat} and summarized across the run in
+    {!Augment.result} — so a degraded answer is visible in the result
+    value, the [check] verdict, and the CLI exit code, never only in a
+    log line.  See [docs/robustness.md] for the full ladder. *)
+
+type t =
+  | Budget_exhausted_warm_fallback
+      (** the step's MILP ran out of nodes or time and its best point
+          was (or equalled) the warm-start packing — the group is placed
+          by the skyline heuristic, not by optimization *)
+  | Raw_warm_packing
+      (** the MILP produced no usable point at all (solver failure or
+          [Infeasible] under the linearized model); the warm packing was
+          committed directly *)
+  | Net_bound_dropped of string list
+      (** the critical-net length bound was dropped to restore
+          feasibility; the listed nets exceed the configured bound in
+          the committed placement *)
+  | Numerical_recovery of int
+      (** the step's LP relaxations needed [n] recovery paths (warm
+          basis fell back to cold, or an iteration-limited LP retreated
+          to its parent bound); the answer stands, the numerics were
+          stressed *)
+  | Retry_escalated of int
+      (** the step initially failed and succeeded only after [n]
+          retries with escalated node/time budgets *)
+  | Deadline_truncated
+      (** the run-level time budget expired before this step; the group
+          was committed from its warm packing without running a MILP *)
+  | Hook_failed of string
+      (** an inspection hook raised; the exception text is kept and the
+          run continued (hooks observe, they must not kill the run) *)
+  | Candidate_failed of string
+      (** a candidate-group evaluation raised and was excluded from
+          selection; the surviving candidates decided the step *)
+  | Worker_failure of string
+      (** the worker pool failed while evaluating candidates; the step
+          fell back to sequential evaluation *)
+  | Task_lost of int
+      (** [n] branch-and-bound frontier tasks vanished and were re-run
+          inline (see {!Fp_milp.Branch_bound.outcome.tasks_lost}) *)
+
+val severity : t -> int
+(** Coarse rank for sorting and for deciding a run's overall verdict:
+    [0] — informational, result quality unaffected
+    ([Numerical_recovery], [Task_lost], [Hook_failed],
+    [Candidate_failed], [Worker_failure], [Retry_escalated]);
+    [1] — quality degraded but constraints hold
+    ([Budget_exhausted_warm_fallback], [Deadline_truncated]);
+    [2] — a stated constraint was relaxed ([Net_bound_dropped],
+    [Raw_warm_packing]). *)
+
+val degrades_quality : t -> bool
+(** [severity t >= 1] — the degradations that make a run
+    "degraded-feasible" (CLI exit code 3) rather than clean. *)
+
+val to_string : t -> string
+(** Stable, machine-greppable rendering, e.g.
+    ["budget_exhausted_warm_fallback"], ["net_bound_dropped(n3,n7)"],
+    ["retry_escalated(2)"]. *)
+
+val pp : Format.formatter -> t -> unit

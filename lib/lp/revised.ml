@@ -10,6 +10,17 @@
      the parent basis stays dual feasible — the branch-and-bound hot
      path. *)
 
+module Fault = Fp_util.Fault
+
+(* Fault sites (see Fp_util.Fault and docs/robustness.md): a stalled
+   solve (forced Iteration_limit, exercising the branch-and-bound's
+   parent-bound retreat) and a singular LU on the warm path (exercising
+   the documented cold-solve fallback).  The singular site sits only on
+   the warm path: a forced singularity on the cold path would turn into
+   a spurious Infeasible answer, which no recovery could make honest. *)
+let site_iteration_limit = Fault.register "revised.iteration_limit"
+let site_singular_lu = Fault.register "basis.singular_lu"
+
 type vstat = VBasic | VLower | VUpper | VFree
 
 type snapshot = {
@@ -710,6 +721,11 @@ let finish prob st result =
   | r -> r
 
 let solve ?max_iters prob =
+  if Fault.fire site_iteration_limit then
+    ( Iteration_limit,
+      { primal_pivots = 0; dual_pivots = 0; refactorizations = 0;
+        warm = false } )
+  else begin
   let std = standardize prob in
   let budget = match max_iters with Some b -> b | None -> default_budget std in
   let result, st, pivots, refac = run_cold std ~budget in
@@ -719,12 +735,18 @@ let solve ?max_iters prob =
   ( result,
     { primal_pivots = pivots; dual_pivots = 0; refactorizations = refac;
       warm = false } )
+  end
 
 let valid_snapshot snap std =
   snap.sm = std.m && snap.sn = std.n
   && Array.for_all (fun e -> e >= 0 && e < std.n) snap.sbasis
 
 let solve_from ?max_iters snap prob =
+  if Fault.fire site_iteration_limit then
+    ( Iteration_limit,
+      { primal_pivots = 0; dual_pivots = 0; refactorizations = 0;
+        warm = true } )
+  else begin
   let std = standardize prob in
   let budget = match max_iters with Some b -> b | None -> default_budget std in
   let cold ~dual_pivots ~refac0 =
@@ -754,7 +776,11 @@ let solve_from ?max_iters snap prob =
         if std.lo.(j) > neg_infinity then stat.(j) <- VLower
         else if std.up.(j) < infinity then stat.(j) <- VUpper
     done;
-    match Basis.create std.mat snap.sbasis with
+    let created =
+      if Fault.fire site_singular_lu then Error `Singular
+      else Basis.create std.mat snap.sbasis
+    in
+    match created with
     | Error `Singular -> cold ~dual_pivots:0 ~refac0:0
     | Ok bas ->
       let st = fresh_state std bas stat in
@@ -813,4 +839,5 @@ let solve_from ?max_iters snap prob =
         end
         else cold ~dual_pivots:0 ~refac0:(Basis.refactorizations bas)
       end
+  end
   end

@@ -11,7 +11,13 @@
     Tolerances: primal feasibility [1e-7], dual feasibility [1e-7]
     ([1e-6] when screening a warm basis), ratio-test pivot threshold
     [1e-9]; Dantzig pricing falls back to Bland's rule after [60]
-    consecutive degenerate pivots. *)
+    consecutive degenerate pivots.
+
+    Fault sites (for {!Fp_util.Fault}, exercised by the resilience
+    tests): ["revised.iteration_limit"] forces {!solve} / {!solve_from}
+    to report [Iteration_limit]; ["basis.singular_lu"] makes
+    {!solve_from} treat the snapshot's LU factorization as singular,
+    taking the documented cold-solve fallback. *)
 
 type snapshot
 (** An immutable basis snapshot: which column is basic in each row

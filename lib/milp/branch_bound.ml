@@ -1,10 +1,20 @@
 module Lp_problem = Fp_lp.Lp_problem
 module Revised = Fp_lp.Revised
 module Pool = Fp_util.Pool
+module Fault = Fp_util.Fault
 
 let src = Logs.Src.create "fp.milp" ~doc:"branch-and-bound"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Fault sites: forced budget exhaustion (the anytime path — the best
+   incumbent, usually the caller's warm start, is returned immediately)
+   and frontier-task loss (a captured subtree's result vanishes; the
+   consume loop re-runs it on the calling domain under the exact
+   contract the sequential search would have given it, so determinism
+   survives the loss). *)
+let site_budget = Fault.register "branch_bound.budget"
+let site_task_loss = Fault.register "branch_bound.task_loss"
 
 type branch_rule = Most_fractional | First_fractional
 
@@ -47,6 +57,7 @@ type domain_work = {
   d_refactorizations : int;
   d_pivots : int;
   d_shadow_pivots : int;
+  d_numerical_recoveries : int;
 }
 
 type outcome = {
@@ -59,6 +70,8 @@ type outcome = {
   refactorizations : int;
   pivots : int;
   shadow_pivots : int;
+  numerical_recoveries : int;
+  tasks_lost : int;
   root_bound : float;
   elapsed : float;
   per_domain : domain_work array;
@@ -119,6 +132,10 @@ type search = {
   mutable refactorizations : int;
   mutable pivots : int;
   mutable shadow_pivots : int;
+  mutable numerical_recoveries : int;
+      (* node LPs that needed a recovery path: a requested warm start
+         that fell back to a cold solve, or an LP that hit its own
+         iteration limit and was handled via the parent-bound retreat *)
   mutable best_m : float;       (* incumbent objective, minimized form *)
   mutable best_x : float array option;
   mutable out_of_budget : bool;
@@ -192,6 +209,7 @@ let budget_exhausted s =
      | Some sh -> Atomic.get sh.sh_nodes >= s.prm.node_limit
      | None -> false)
   || Unix.gettimeofday () > s.deadline
+  || Fault.fire site_budget
 
 (* One LP relaxation: warm-start from the parent's optimal basis via the
    dual simplex when available (bound-only changes keep it dual
@@ -200,15 +218,21 @@ let budget_exhausted s =
    path actually produced the answer. *)
 let solve_node_lp s parent_basis =
   s.lp_solves <- s.lp_solves + 1;
+  let warm_requested =
+    match parent_basis with Some _ -> s.prm.warm_lp | None -> false
+  in
   let result, (st : Revised.stats) =
-    match parent_basis with
-    | Some snap when s.prm.warm_lp -> Revised.solve_from snap s.prob
-    | _ -> Revised.solve s.prob
+    if warm_requested then Revised.solve_from (Option.get parent_basis) s.prob
+    else Revised.solve s.prob
   in
   s.pivots <- s.pivots + st.primal_pivots + st.dual_pivots;
   s.refactorizations <- s.refactorizations + st.refactorizations;
   if st.warm then s.warm_hits <- s.warm_hits + 1
   else s.cold_solves <- s.cold_solves + 1;
+  if
+    (warm_requested && not st.warm)
+    || (match result with Revised.Iteration_limit -> true | _ -> false)
+  then s.numerical_recoveries <- s.numerical_recoveries + 1;
   (* Shadow accounting: price the identical subproblem with a cold solve
      (discarding its answer) so warm and cold engines are compared on the
      same search tree.  [Revised.solve] only reads the problem, so the
@@ -347,6 +371,7 @@ let work_of s =
     d_nodes = s.nodes; d_lp_solves = s.lp_solves; d_warm_hits = s.warm_hits;
     d_cold_solves = s.cold_solves; d_refactorizations = s.refactorizations;
     d_pivots = s.pivots; d_shadow_pivots = s.shadow_pivots;
+    d_numerical_recoveries = s.numerical_recoveries;
   }
 
 let sum_work ws =
@@ -360,9 +385,12 @@ let sum_work ws =
         d_refactorizations = a.d_refactorizations + w.d_refactorizations;
         d_pivots = a.d_pivots + w.d_pivots;
         d_shadow_pivots = a.d_shadow_pivots + w.d_shadow_pivots;
+        d_numerical_recoveries =
+          a.d_numerical_recoveries + w.d_numerical_recoveries;
       })
     { d_nodes = 0; d_lp_solves = 0; d_warm_hits = 0; d_cold_solves = 0;
-      d_refactorizations = 0; d_pivots = 0; d_shadow_pivots = 0 }
+      d_refactorizations = 0; d_pivots = 0; d_shadow_pivots = 0;
+      d_numerical_recoveries = 0 }
     ws
 
 (* ------------------------------------------------------------------ *)
@@ -473,20 +501,39 @@ let solve_frontier s ~pool ~jobs ~shared ~mk_search ~tasks ~finish =
   let out_of_budget = ref s.out_of_budget in
   let bound_incomplete = ref s.bound_incomplete in
   let waves = ref 0 in
+  let tasks_lost = ref 0 in
   let launch_wave ~from ~entry ~budget =
     incr waves;
     Pool.run pool ~n:(n - from) (fun ~worker k ->
         let i = from + k in
-        results.(i) <-
-          Some (run_task (state_of worker) ~base_lb ~base_ub tasks.(i) ~entry
-                  ~budget))
+        if Fault.fire site_task_loss then
+          (* The subtree's result vanishes (simulated worker loss); a
+             stale result from an earlier wave must not survive either. *)
+          results.(i) <- None
+        else
+          results.(i) <-
+            Some (run_task (state_of worker) ~base_lb ~base_ub tasks.(i)
+                    ~entry ~budget))
+  in
+  (* Re-run a lost subtree inline on the calling domain, under the exact
+     contract the consumer needs.  Sits outside [launch_wave]'s injection
+     point, so recovery cannot itself be lost. *)
+  let recover i ~entry ~budget =
+    incr tasks_lost;
+    let r = run_task (state_of 0) ~base_lb ~base_ub tasks.(i) ~entry ~budget in
+    results.(i) <- Some r;
+    r
   in
   (match shared with
   | Some sh ->
     (* Free-running: one wave; the per-task budget is only a backstop,
        the real limit is the shared node counter. *)
-    launch_wave ~from:0 ~entry:!chain_m
-      ~budget:(Int.max 0 (s.prm.node_limit - ramp_nodes));
+    let budget = Int.max 0 (s.prm.node_limit - ramp_nodes) in
+    launch_wave ~from:0 ~entry:!chain_m ~budget;
+    Array.iteri
+      (fun i r ->
+        if r = None then ignore (recover i ~entry:!chain_m ~budget))
+      results;
     Array.iter
       (fun r ->
         let r = Option.get r in
@@ -534,7 +581,15 @@ let solve_frontier s ~pool ~jobs ~shared ~mk_search ~tasks ~finish =
              speculated on the wrong entry bound, so relaunch them all
              as one wave under the current chain value. *)
           launch_wave ~from:!i ~entry:!chain_m ~budget:remaining);
-        let r = Option.get results.(!i) in
+        let r =
+          match results.(!i) with
+          | Some r -> r
+          | None ->
+            (* Lost even after the relaunch: recover inline with the
+               exact sequential contract, which also makes the result
+               admissible by construction. *)
+            recover !i ~entry:!chain_m ~budget:remaining
+        in
         if r.r_hit_time then begin
           (* Wall clock ran out mid-subtree: accept what was found;
              exactness — and hence replay determinism — ends here, as it
@@ -574,7 +629,8 @@ let solve_frontier s ~pool ~jobs ~shared ~mk_search ~tasks ~finish =
   let per_domain =
     Array.map work_of states
   in
-  finish ~per_domain ~waves:!waves ~total:(sum_work per_domain)
+  finish ~per_domain ~waves:!waves ~tasks_lost:!tasks_lost
+    ~total:(sum_work per_domain)
 
 let solve ?(params = default_params) ?warm ?pool model =
   let prob = Model.problem model in
@@ -609,7 +665,7 @@ let solve ?(params = default_params) ?warm ?pool model =
       ramp_limit = max_int;
       nodes = 0; lp_solves = 0;
       warm_hits = 0; cold_solves = 0; refactorizations = 0; pivots = 0;
-      shadow_pivots = 0;
+      shadow_pivots = 0; numerical_recoveries = 0;
       best_m = infinity; best_x = None;
       out_of_budget = false; root_unbounded = false; bound_incomplete = false;
     }
@@ -640,7 +696,7 @@ let solve ?(params = default_params) ?warm ?pool model =
     s.capture <- Some (fun t -> tasks_rev := t :: !tasks_rev; incr n_tasks);
     s.ramp_limit <- Int.min params.ramp_nodes params.node_limit
   end;
-  let finish ~root_bound ~per_domain ~frontier ~waves ~total =
+  let finish ~root_bound ~per_domain ~frontier ~waves ~tasks_lost ~total =
     let elapsed = Unix.gettimeofday () -. start in
     let best = Option.map (fun x -> (x, s.sense_mult *. s.best_m)) s.best_x in
     let status =
@@ -656,13 +712,15 @@ let solve ?(params = default_params) ?warm ?pool model =
       status; best; nodes = total.d_nodes; lp_solves = total.d_lp_solves;
       warm_hits = total.d_warm_hits; cold_solves = total.d_cold_solves;
       refactorizations = total.d_refactorizations; pivots = total.d_pivots;
-      shadow_pivots = total.d_shadow_pivots; root_bound; elapsed;
-      per_domain; frontier_tasks = frontier; waves;
+      shadow_pivots = total.d_shadow_pivots;
+      numerical_recoveries = total.d_numerical_recoveries; tasks_lost;
+      root_bound; elapsed; per_domain; frontier_tasks = frontier; waves;
     }
   in
   let seq_finish ~root_bound =
     let w = work_of s in
-    finish ~root_bound ~per_domain:[| w |] ~frontier:0 ~waves:0 ~total:w
+    finish ~root_bound ~per_domain:[| w |] ~frontier:0 ~waves:0 ~tasks_lost:0
+      ~total:w
   in
   if budget_exhausted s then begin
     (* Exhausted before the root LP: report without solving anything, so
@@ -687,7 +745,9 @@ let solve ?(params = default_params) ?warm ?pool model =
         status = Infeasible; best = None; nodes = 0; lp_solves = s.lp_solves;
         warm_hits = s.warm_hits; cold_solves = s.cold_solves;
         refactorizations = s.refactorizations; pivots = s.pivots;
-        shadow_pivots = s.shadow_pivots; root_bound = nan;
+        shadow_pivots = s.shadow_pivots;
+        numerical_recoveries = s.numerical_recoveries; tasks_lost = 0;
+        root_bound = nan;
         elapsed = Unix.gettimeofday () -. start;
         per_domain = [| w |]; frontier_tasks = 0; waves = 0;
       }
@@ -704,9 +764,9 @@ let solve ?(params = default_params) ?warm ?pool model =
         seq_finish ~root_bound:(sense_mult *. root_bound)
       else
         solve_frontier s ~pool ~jobs ~shared ~mk_search ~tasks
-          ~finish:(fun ~per_domain ~waves ~total ->
+          ~finish:(fun ~per_domain ~waves ~tasks_lost ~total ->
             finish ~root_bound:(sense_mult *. root_bound) ~per_domain
-              ~frontier:!n_tasks ~waves ~total)
+              ~frontier:!n_tasks ~waves ~tasks_lost ~total)
     end
   end
 

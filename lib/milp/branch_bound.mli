@@ -33,7 +33,16 @@
     [deterministic = false] shares the incumbent through an atomic
     instead — faster under heavy incumbent traffic, but the set of
     pruned nodes (and, among equal-objective optima, the returned point)
-    then depends on timing.  See [docs/parallel.md]. *)
+    then depends on timing.  See [docs/parallel.md].
+
+    Fault sites (for {!Fp_util.Fault}, exercised by the resilience
+    tests): ["branch_bound.budget"] forces the budget check to report
+    exhaustion, exercising the anytime path (best incumbent — usually
+    the caller's warm start — returned as [Feasible]/[No_solution]);
+    ["branch_bound.task_loss"] drops a frontier task's result, which the
+    consume loop recovers by re-running the subtree inline under the
+    exact sequential contract (counted in [tasks_lost]).  See
+    [docs/robustness.md]. *)
 
 type branch_rule =
   | Most_fractional
@@ -94,6 +103,7 @@ type domain_work = {
   d_refactorizations : int;
   d_pivots : int;
   d_shadow_pivots : int;
+  d_numerical_recoveries : int;
 }
 (** Per-domain slice of the search-effort counters.  In deterministic
     mode this counts {e all} work a domain performed, including
@@ -120,6 +130,15 @@ type outcome = {
   shadow_pivots : int;
       (** pivots the cold engine spent on the same node sequence; [0]
           unless [shadow_cold] was set *)
+  numerical_recoveries : int;
+      (** node LPs that needed a recovery path: a requested warm start
+          that fell back to a cold solve (singular or stale basis), or
+          an LP that hit its own iteration limit and was handled via the
+          parent-bound retreat.  Nonzero values mean the answer is still
+          trustworthy but the numerics were stressed. *)
+  tasks_lost : int;
+      (** frontier-task results that vanished (worker failure or
+          injected fault) and were re-run inline; [0] in healthy runs *)
   root_bound : float;
       (** LP-relaxation bound at the root, original sense *)
   elapsed : float;

@@ -56,6 +56,12 @@ module Deque = struct
     end
 end
 
+(* Fault site: a worker raising out of its task (the exception surfaces
+   from [run] at the caller, like any task exception).  Sits in the pool
+   wrapper, not in user tasks, so callers that catch their own task
+   exceptions still see a pool-level worker failure as distinct. *)
+let site_worker_exn = Fault.register "pool.worker_exn"
+
 type batch = { deques : (worker:int -> unit) Deque.t array }
 
 type t = {
@@ -145,6 +151,7 @@ let run t ~n f =
   if n > 0 then begin
     if t.n_jobs = 1 then
       for i = 0 to n - 1 do
+        Fault.trip site_worker_exn;
         f ~worker:0 i
       done
     else begin
@@ -152,7 +159,9 @@ let run t ~n f =
       let cap = ((n - 1) / t.n_jobs) + 1 in
       let deques = Array.init t.n_jobs (fun _ -> Deque.create cap) in
       for i = 0 to n - 1 do
-        Deque.push deques.(i mod t.n_jobs) (fun ~worker -> f ~worker i)
+        Deque.push deques.(i mod t.n_jobs) (fun ~worker ->
+            Fault.trip site_worker_exn;
+            f ~worker i)
       done;
       let b = { deques } in
       Mutex.lock t.mutex;
