@@ -802,7 +802,7 @@ let fault_matrix () =
   | fs ->
     printf "\nfault matrix FAILURES:\n";
     List.iter (fun f -> printf "  %s\n" f) fs;
-    exit 1
+    exit Fp_core.Degradation.exit_error
 
 (* --------------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one Test.make per table + kernel ablations  *)
@@ -968,7 +968,11 @@ let () =
         "  run only the domain-parallel scaling ablation" );
       ( "--faults",
         Arg.Unit (fun () -> any := true; run_flt := true),
-        "  inject every registered fault site; exit 1 unless all recover" );
+        Printf.sprintf
+          "  inject all %d catalogued fault sites (%s); exit 1 unless all \
+           recover"
+          (List.length Fp_util.Fault.builtin)
+          (String.concat ", " (List.map fst Fp_util.Fault.builtin)) );
       ( "--jobs",
         Arg.Set_int jobs,
         "N  worker domains for every floorplan run (default 1)" );

@@ -141,13 +141,20 @@ let stop_after_arg =
                  testing checkpoint/resume; pair with --checkpoint).")
 
 let faults_arg =
+  (* The site list is rendered from [Fault.builtin] so this help text,
+     the runtime registry and docs/robustness.md can never disagree. *)
+  let doc =
+    Printf.sprintf
+      "Comma-separated fault injections, each SITE[@AFTER][xCOUNT] \
+       (COUNT may be *): arm the named fault sites before the run to \
+       exercise the recovery paths.  Known sites: %s."
+      (String.concat "; "
+         (List.map
+            (fun (site, what) -> Printf.sprintf "$(b,%s) — %s" site what)
+            Fault.builtin))
+  in
   Arg.(value & opt (some string) None
-       & info [ "faults" ] ~docv:"SPECS"
-           ~doc:"Comma-separated fault injections, each \
-                 SITE[@AFTER][xCOUNT] (COUNT may be *): arm the named \
-                 fault sites before the run to exercise the recovery \
-                 paths.  Unknown sites are rejected with the list of \
-                 known ones.")
+       & info [ "faults" ] ~docv:"SPECS" ~doc)
 
 let arm_faults specs =
   match specs with
@@ -218,12 +225,7 @@ let report_degradations (res : Augment.result) =
    fallbacks, dropped net bounds, deadline truncation).  Informational
    degradations (recoveries, retries that succeeded) stay at 0. *)
 let degraded_exit (res : Augment.result) =
-  if
-    List.exists
-      (fun (_, d) -> Degradation.degrades_quality d)
-      res.Augment.degradations
-  then 3
-  else 0
+  Degradation.exit_code (List.map snd res.Augment.degradations)
 
 let refine_arg =
   Arg.(value & flag

@@ -1,0 +1,115 @@
+(* Source-invariant linter driver.
+
+   Tree mode (no FILES): lint lib/, bin/, bench/ and examples/ under
+   --root, subtract the justification-annotated baseline, and exit
+   non-zero when anything is left:
+
+     exit 0 — clean against the baseline
+     exit 1 — unbaselined findings (or an unparseable file)
+     exit 2 — baseline problems: malformed entry, missing justification,
+              or stale entries whose file:line no longer fires (drift)
+
+   File mode (explicit FILES, used by the corpus tests and the CI
+   injection check): lint each file under a forced role (default lib,
+   the strictest) and print every finding; exit 1 when any fire.  The
+   baseline is not consulted in file mode.
+
+   See docs/static-analysis.md for the rule catalogue. *)
+
+module Lint = Fp_lint
+
+let usage = "fp_lint [options] [FILES...]"
+
+let () =
+  let root = ref "." in
+  let baseline = ref "" in
+  let update = ref false in
+  let role = ref "lib" in
+  let list_rules = ref false in
+  let files = ref [] in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR repository root (default: .)");
+      ( "--baseline",
+        Arg.Set_string baseline,
+        "FILE baseline file (default: ROOT/lint.baseline)" );
+      ( "--update",
+        Arg.Set update,
+        " rewrite the baseline from the current findings (justifications \
+         left as TODO)" );
+      ( "--role",
+        Arg.Set_string role,
+        "ROLE role for explicit FILES: lib|bin|bench|examples (default: \
+         lib)" );
+      ("--list-rules", Arg.Set list_rules, " print the rule catalogue");
+    ]
+  in
+  Arg.parse spec (fun f -> files := f :: !files) usage;
+  if !list_rules then begin
+    List.iter
+      (fun r ->
+        Printf.printf "%s  %s\n" (Lint.Finding.rule_name r)
+          (Lint.Finding.rule_doc r))
+      Lint.Finding.all_rules;
+    exit 0
+  end;
+  let die code fmt = Printf.ksprintf (fun m -> prerr_endline m; exit code) fmt in
+  match List.rev !files with
+  | _ :: _ as files ->
+    (* File mode. *)
+    let role =
+      match !role with
+      | "lib" -> Lint.Rules.Lib
+      | "bin" -> Lint.Rules.Bin
+      | "bench" -> Lint.Rules.Bench
+      | "examples" -> Lint.Rules.Examples
+      | r -> die 2 "unknown --role %S" r
+    in
+    let findings =
+      List.concat_map (fun f -> Lint.Driver.lint_file ~role ~root:"." f) files
+    in
+    List.iter
+      (fun f -> print_endline (Lint.Finding.to_string f))
+      (List.sort_uniq Lint.Finding.compare findings);
+    exit (if findings = [] then 0 else 1)
+  | [] ->
+    (* Tree mode. *)
+    let baseline_path =
+      if !baseline <> "" then !baseline
+      else Filename.concat !root "lint.baseline"
+    in
+    let findings = Lint.Driver.lint_tree ~root:!root () in
+    if !update then begin
+      let oc = open_out baseline_path in
+      output_string oc (Lint.Baseline.render findings);
+      close_out oc;
+      Printf.printf "fp_lint: wrote %d entr%s to %s\n"
+        (List.length findings)
+        (if List.length findings = 1 then "y" else "ies")
+        baseline_path;
+      exit 0
+    end;
+    let entries =
+      match Lint.Baseline.load baseline_path with
+      | Ok e -> e
+      | Error msg -> die 2 "fp_lint: bad baseline: %s" msg
+    in
+    let v = Lint.Baseline.apply entries findings in
+    List.iter
+      (fun f -> print_endline (Lint.Finding.to_string f))
+      v.Lint.Baseline.unbaselined;
+    List.iter
+      (fun (e : Lint.Baseline.entry) ->
+        Printf.printf
+          "%s:%d stale baseline entry: %s%s %s no longer fires — remove it \
+           (or the code drifted under it)\n"
+          baseline_path e.e_src_line e.e_file
+          (match e.e_line with Some l -> ":" ^ string_of_int l | None -> "")
+          (Lint.Finding.rule_name e.e_rule))
+      v.Lint.Baseline.stale;
+    if v.Lint.Baseline.unbaselined <> [] then exit 1
+    else if v.Lint.Baseline.stale <> [] then exit 2
+    else
+      Printf.printf "fp_lint: clean (%d baselined finding%s)\n"
+        (List.length findings)
+        (if List.length findings = 1 then "" else "s")

@@ -16,7 +16,7 @@ let () =
   match Parser.of_file path with
   | Error e ->
     Printf.eprintf "cannot load %s: %s\n" path e;
-    exit 1
+    exit Degradation.exit_error
   | Ok nl ->
     Format.printf "%a@.@." Netlist.pp_summary nl;
     (* MILP successive augmentation. *)

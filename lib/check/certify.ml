@@ -17,13 +17,13 @@ type reported = {
 let overlaps_tol ~tol a b =
   let dx = Float.min (Rect.x_max a) (Rect.x_max b) -. Float.max a.Rect.x b.Rect.x
   and dy = Float.min (Rect.y_max a) (Rect.y_max b) -. Float.max a.Rect.y b.Rect.y in
-  dx > tol && dy > tol
+  Tol.gt ~tol dx 0. && Tol.gt ~tol dy 0.
 
 let inside_tol ~tol ~outer ~inner =
-  inner.Rect.x >= outer.Rect.x -. tol
-  && inner.Rect.y >= outer.Rect.y -. tol
-  && Rect.x_max inner <= Rect.x_max outer +. tol
-  && Rect.y_max inner <= Rect.y_max outer +. tol
+  Tol.geq ~tol inner.Rect.x outer.Rect.x
+  && Tol.geq ~tol inner.Rect.y outer.Rect.y
+  && Tol.leq ~tol (Rect.x_max inner) (Rect.x_max outer)
+  && Tol.leq ~tol (Rect.y_max inner) (Rect.y_max outer)
 
 let subject (p : Placement.placed) name =
   Printf.sprintf "module %s" (Option.value name ~default:(string_of_int p.Placement.module_id))
@@ -136,7 +136,7 @@ let placement ?(tol = Tol.eps) ?reported netlist (pl : Placement.t) =
           (* CT005: area conservation, relative tolerance. *)
           let got = Rect.area p.Placement.rect in
           let atol = tol *. Float.max 1. area in
-          if Float.abs (got -. area) > atol then
+          if not (Tol.within ~tol:atol got area) then
             emit
               (D.make ~code:"CT005" ~severity:D.Error ~subject:subj
                  "flexible module area not conserved: placed %g x %g = %g, \
@@ -149,7 +149,7 @@ let placement ?(tol = Tol.eps) ?reported netlist (pl : Placement.t) =
             (sqrt (area *. min_aspect), sqrt (area *. max_aspect))
           in
           let w = p.Placement.rect.Rect.w in
-          if w < w_lo -. tol || w > w_hi +. tol then
+          if Tol.lt ~tol w w_lo || Tol.gt ~tol w w_hi then
             emit
               (D.make ~code:"CT006" ~severity:D.Error ~subject:subj
                  "flexible module width %g outside the aspect-feasible \
@@ -175,7 +175,7 @@ let placement ?(tol = Tol.eps) ?reported netlist (pl : Placement.t) =
         !max_top +. (lambda *. Metrics.hpwl netlist pl)
     in
     let otol = tol *. Float.max 1. (Float.abs recomputed) in
-    if Float.abs (recomputed -. value) > otol then
+    if not (Tol.within ~tol:otol recomputed value) then
       emit
         (D.make ~code:"CT010" ~severity:D.Error ~subject:"objective"
            "reported objective %g but recomputation from the geometry \
@@ -202,19 +202,19 @@ let covering ?(tol = Tol.eps) ~skyline ~num_placed rects =
     (fun i r ->
       let subj = Printf.sprintf "covering rect %d" i in
       if
-        r.Rect.x < -.tol
-        || Rect.x_max r > width +. tol
-        || r.Rect.y < -.tol
+        Tol.lt ~tol r.Rect.x 0.
+        || Tol.gt ~tol (Rect.x_max r) width
+        || Tol.lt ~tol r.Rect.y 0.
       then
         emit
           (D.make ~code:"CT008" ~severity:D.Error ~subject:subj
              "rectangle %s leaves the chip strip of width %g"
              (Rect.to_string r) width)
-      else if r.Rect.w > tol then begin
+      else if Tol.gt ~tol r.Rect.w 0. then begin
         let ceiling =
           Skyline.min_height_over skyline ~x0:r.Rect.x ~x1:(Rect.x_max r)
         in
-        if Rect.y_max r > ceiling +. tol then
+        if Tol.gt ~tol (Rect.y_max r) ceiling then
           emit
             (D.make ~code:"CT008" ~severity:D.Error ~subject:subj
                "rectangle %s rises above the skyline (top %g, profile \
@@ -230,7 +230,7 @@ let covering ?(tol = Tol.eps) ~skyline ~num_placed rects =
   let covered = Rect.union_area rects
   and target = Skyline.area_under skyline in
   let atol = tol *. Float.max 1. target in
-  if Float.abs (covered -. target) > atol then
+  if not (Tol.within ~tol:atol covered target) then
     emit
       (D.make ~code:"CT009" ~severity:D.Error ~subject:"covering"
          "covering rectangles cover area %g but the region under the \

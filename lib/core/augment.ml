@@ -194,7 +194,7 @@ let item_max_height ~allow_rotation ~linearization (it : Formulation.item) =
       match linearization with
       | Formulation.Tangent -> area /. (w_max *. w_max)
       | Formulation.Secant ->
-        if w_max -. w_min <= Tol.eps then 0. else area /. (w_min *. w_max)
+        if Tol.leq w_max w_min then 0. else area /. (w_min *. w_max)
     in
     h_base +. b +. t +. (slope *. Float.max 0. (w_max -. w_min))
 
@@ -297,7 +297,7 @@ let nets_over_bound cfg nl placement =
         | None -> None
         | Some b -> (
           match Metrics.net_hpwl nl placement net with
-          | Some len when len > b +. 1e-6 -> Some net.Net.name
+          | Some len when Tol.gt len b -> Some net.Net.name
           | _ -> None))
       (Netlist.nets nl)
 
@@ -464,7 +464,7 @@ let run ?(config = default_config) ?resume nl =
   if cfg.jobs < 1 then invalid_arg "Augment.run: jobs < 1";
   if cfg.candidates < 1 then invalid_arg "Augment.run: candidates < 1";
   if cfg.max_retries < 0 then invalid_arg "Augment.run: max_retries < 0";
-  if cfg.retry_escalation < 1. then
+  if Tol.lt cfg.retry_escalation 1. then
     invalid_arg "Augment.run: retry_escalation < 1";
   let t0 = Unix.gettimeofday () in
   let run_deadline = Option.map (fun l -> t0 +. l) cfg.run_time_limit in
@@ -526,7 +526,7 @@ let run ?(config = default_config) ?resume nl =
     let f = cfg.retry_escalation ** float_of_int attempt in
     let node_limit =
       let n = float_of_int base.Branch_bound.node_limit *. f in
-      if n > 10_000_000. then 10_000_000 else int_of_float n
+      if Tol.gt n 10_000_000. then 10_000_000 else int_of_float n
     in
     let time_limit =
       Float.min (base.Branch_bound.time_limit *. f) deadline_left
@@ -688,7 +688,7 @@ let run ?(config = default_config) ?resume nl =
          | None -> infinity
          | Some dl -> dl -. step_start
        in
-       if deadline_left <= 0. then begin
+       if Tol.leq deadline_left 0. then begin
          (* Run deadline expired: the remaining groups are committed
             from their warm packings, no MILP — the engine stays
             anytime and every commit is still overlap-free. *)

@@ -37,3 +37,13 @@ let to_string = function
   | Task_lost n -> Printf.sprintf "task_lost(%d)" n
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(* Process exit codes.  Every [exit] in bin/, bench/ and examples/ goes
+   through these constants (the SA008 lint enforces it), so the
+   degradation taxonomy is the single place the exit contract lives. *)
+let exit_clean = 0
+let exit_error = 1
+let exit_degraded = 3
+
+let exit_code ds =
+  if List.exists degrades_quality ds then exit_degraded else exit_clean

@@ -66,3 +66,27 @@ val to_string : t -> string
     ["retry_escalated(2)"]. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Process exit contract}
+
+    The CLI, the bench driver and the examples all map run outcomes to
+    process exit codes through these constants — the SA008 lint rejects
+    raw [exit <int>] literals anywhere else — so the mapping below is
+    definitional:
+
+    - {!exit_clean} ([0]) — finished, no quality-degrading events;
+    - {!exit_error} ([1]) — hard failure (bad input, solver error,
+      failed certification);
+    - {!exit_degraded} ([3]) — feasible but quality-degraded (warm
+      fallbacks, dropped net bounds, deadline truncation).
+
+    Exit code [2] is left to the runtimes/tools convention (usage
+    errors; also what [bin/fp_lint] uses for baseline problems). *)
+
+val exit_clean : int
+val exit_error : int
+val exit_degraded : int
+
+val exit_code : t list -> int
+(** [exit_code ds] is {!exit_degraded} when any degradation in [ds]
+    {!degrades_quality}, else {!exit_clean}. *)

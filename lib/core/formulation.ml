@@ -103,7 +103,7 @@ let item_min_reserved_area ~linearization it =
       match linearization with
       | Tangent -> area /. (w_max *. w_max)
       | Secant ->
-        if w_max -. w_min <= Tol.eps then 0.
+        if Tol.leq w_max w_min then 0.
         else area /. (w_min *. w_max)
     in
     let reserved dw =
@@ -275,14 +275,14 @@ let build ~chip_width ~height_bound ?(objective = Min_height)
   (* Feasibility of each item inside the strip. *)
   Array.iteri
     (fun k it ->
-      if item_min_width ~allow_rotation it > chip_width +. Tol.eps then
+      if Tol.gt (item_min_width ~allow_rotation it) chip_width then
         invalid_arg
           (Printf.sprintf
              "Formulation.build: item %d (%s) wider than the chip (%g > %g)" k
              it.def.Module_def.name
              (item_min_width ~allow_rotation it)
              chip_width);
-      if item_min_height ~allow_rotation it > height_bound +. Tol.eps then
+      if Tol.gt (item_min_height ~allow_rotation it) height_bound then
         invalid_arg
           (Printf.sprintf
              "Formulation.build: item %d (%s) taller than the height bound" k
@@ -301,7 +301,7 @@ let build ~chip_width ~height_bound ?(objective = Min_height)
         Model.add_continuous model ~ub:height_bound (Printf.sprintf "y_%s" name);
       match env_dims it with
       | `Rigid (we, he) ->
-        if allow_rotation && Float.abs (we -. he) > Tol.eps then begin
+        if allow_rotation && not (Tol.equal we he) then begin
           let z = Model.add_binary model (Printf.sprintf "z_%s" name) in
           rot.(k) <- Some z;
           (* eq. (4): w_i = (1 - z_i) w + z_i h. *)
@@ -367,8 +367,8 @@ let build ~chip_width ~height_bound ?(objective = Min_height)
         List.filter
           (fun r ->
             match r with
-            | Rel_left | Rel_right -> wi +. wj <= chip_width +. Tol.eps
-            | Rel_below | Rel_above -> hi +. hj <= height_bound +. Tol.eps)
+            | Rel_left | Rel_right -> Tol.leq (wi +. wj) chip_width
+            | Rel_below | Rel_above -> Tol.leq (hi +. hj) height_bound)
           all_rels
       in
       let tag = Printf.sprintf "i%d_i%d" i j in
@@ -389,10 +389,10 @@ let build ~chip_width ~height_bound ?(objective = Min_height)
           List.filter
             (fun rel ->
               match rel with
-              | Rel_left -> wi <= r.Rect.x +. Tol.eps
-              | Rel_right -> Rect.x_max r +. wi <= chip_width +. Tol.eps
-              | Rel_below -> hi <= r.Rect.y +. Tol.eps
-              | Rel_above -> Rect.y_max r +. hi <= height_bound +. Tol.eps)
+              | Rel_left -> Tol.leq wi r.Rect.x
+              | Rel_right -> Tol.leq (Rect.x_max r +. wi) chip_width
+              | Rel_below -> Tol.leq hi r.Rect.y
+              | Rel_above -> Tol.leq (Rect.y_max r +. hi) height_bound)
             all_rels
         in
         let tag = Printf.sprintf "i%d_f%d" i fi in
@@ -590,7 +590,7 @@ let extract b sol =
       and eh = Expr.eval b.h_expr.(k) sol in
       let envelope = Rect.make ~x:ex ~y:ey ~w:ew ~h:eh in
       let rotated =
-        match b.rot.(k) with Some z -> sol.(z) > 0.5 | None -> false
+        match b.rot.(k) with Some z -> Tol.gt sol.(z) 0.5 | None -> false
       in
       let l, r, mb, mt = it.margins in
       match it.def.Module_def.shape with

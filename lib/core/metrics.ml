@@ -1,6 +1,7 @@
 module Netlist = Fp_netlist.Netlist
 module Net = Fp_netlist.Net
 module Module_def = Fp_netlist.Module_def
+module Tol = Fp_geometry.Tol
 
 let placed_area nl pl =
   List.fold_left
@@ -10,11 +11,11 @@ let placed_area nl pl =
 
 let utilization nl pl =
   let chip = Placement.chip_area pl in
-  if chip <= 0. then 0. else placed_area nl pl /. chip
+  if Tol.leq chip 0. then 0. else placed_area nl pl /. chip
 
 let utilization_bbox nl pl =
   let chip = Placement.bounding_area pl in
-  if chip <= 0. then 0. else placed_area nl pl /. chip
+  if Tol.leq chip 0. then 0. else placed_area nl pl /. chip
 
 let net_hpwl _nl pl net =
   let pins =

@@ -54,7 +54,7 @@ let top_module pl =
         let tp = Rect.y_max p.Placement.envelope
         and tq = Rect.y_max q.Placement.envelope in
         if
-          tp > tq +. Tol.eps
+          Tol.gt tp tq
           || (Tol.equal tp tq
               && Rect.area p.Placement.envelope > Rect.area q.Placement.envelope)
         then Some p
@@ -119,7 +119,7 @@ let reinsert_once ~milp ~linearization ~allow_rotation nl pl =
       in
       let candidate = Compact.vertical candidate in
       if
-        candidate.Placement.height < pl.Placement.height -. 1e-6
+        Tol.lt candidate.Placement.height pl.Placement.height
         && Placement.valid candidate = Ok ()
       then Some candidate
       else None

@@ -10,7 +10,7 @@ let shapes ~allow_rotation ~linearization (it : Formulation.item) =
   match it.Formulation.def.Module_def.shape with
   | Module_def.Rigid { w; h } ->
     let we = w +. l +. r and he = h +. b +. t in
-    if allow_rotation && Float.abs (we -. he) > Fp_geometry.Tol.eps then
+    if allow_rotation && not (Fp_geometry.Tol.equal we he) then
       [ (we, he, false); (he, we, true) ]
     else [ (we, he, false) ]
   | Module_def.Flexible { area; min_aspect; max_aspect } ->
@@ -21,7 +21,7 @@ let shapes ~allow_rotation ~linearization (it : Formulation.item) =
       match linearization with
       | Formulation.Tangent -> area /. (w_max *. w_max)
       | Formulation.Secant ->
-        if w_max -. w_min <= Fp_geometry.Tol.eps then 0.
+        if Fp_geometry.Tol.leq w_max w_min then 0.
         else area /. (w_min *. w_max)
     in
     let at dw =
@@ -52,9 +52,9 @@ let place_in_order ~skyline ~allow_rotation ~linearization items order =
               match !best with
               | None -> true
               | Some (_, _, _, _, best_top, best_area) ->
-                top < best_top -. Fp_geometry.Tol.eps
-                || (Float.abs (top -. best_top) <= Fp_geometry.Tol.eps
-                    && w *. h < best_area)
+                Fp_geometry.Tol.lt top best_top
+                || (Fp_geometry.Tol.equal top best_top
+                    && Fp_geometry.Tol.lt (w *. h) best_area)
             in
             if better then begin
               best := Some (px, py, w, h, top, w *. h);
@@ -96,7 +96,7 @@ let place_group ~skyline ~allow_rotation ~linearization items =
       with
       | result, height -> (
         match !best with
-        | Some (_, best_h) when best_h <= height +. Fp_geometry.Tol.eps -> ()
+        | Some (_, best_h) when Fp_geometry.Tol.leq best_h height -> ()
         | Some _ | None -> best := Some (result, height))
       | exception Invalid_argument _ -> ())
     orders;

@@ -1,7 +1,7 @@
 type t = { x : float; y : float; w : float; h : float }
 
 let make ~x ~y ~w ~h =
-  if w < -.Tol.eps || h < -.Tol.eps then
+  if Tol.lt w 0. || Tol.lt h 0. then
     invalid_arg (Printf.sprintf "Rect.make: negative extent w=%g h=%g" w h);
   { x; y; w = Float.max 0. w; h = Float.max 0. h }
 

@@ -11,5 +11,6 @@ let equal ?(tol = eps) a b = within ~tol a b
 let leq ?(tol = eps) a b = a <= b +. tol
 let lt ?(tol = eps) a b = a < b -. tol
 let geq ?(tol = eps) a b = leq ~tol b a
+let gt ?(tol = eps) a b = lt ~tol b a
 let is_zero ?(tol = eps) a = within ~tol a 0.
 let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x

@@ -29,6 +29,9 @@ val lt : ?tol:float -> float -> float -> bool
 val geq : ?tol:float -> float -> float -> bool
 (** [geq a b] is [leq b a]. *)
 
+val gt : ?tol:float -> float -> float -> bool
+(** [gt a b] is [lt b a] (strictly greater, beyond tolerance). *)
+
 val is_zero : ?tol:float -> float -> bool
 (** [is_zero a] is [equal a 0.]. *)
 

@@ -1,0 +1,46 @@
+(** Justification-annotated lint baseline.
+
+    The baseline is the explicit, reviewed list of findings the
+    repository has decided to live with.  Every entry {e must} carry a
+    written justification — an entry without one is a load error, so
+    "just silence it" is not expressible.  Format, one entry per line:
+
+    {v
+    # comment
+    lib/lp/basis.ml SA001 -- LU kernel: exact-zero sparsity tests
+    lib/milp/branch_bound.ml:211 SA004 -- deadline enforcement reads the clock
+    v}
+
+    A [path:line RULE] entry suppresses findings of [RULE] at exactly
+    that line; a [path RULE] entry suppresses the rule for the whole
+    file.  Entries that no longer match anything are {e stale} and fail
+    the run (the drift check): a fixed violation must leave the baseline
+    in the same commit. *)
+
+type entry = {
+  e_file : string;
+  e_line : int option;  (** [None] = whole-file entry *)
+  e_rule : Finding.rule;
+  e_just : string;      (** non-empty justification *)
+  e_src_line : int;     (** line in the baseline file, for messages *)
+}
+
+val parse : path:string -> string -> (entry list, string) result
+(** Parse baseline text ([path] only labels errors).  Fails on a
+    malformed line, an unknown rule code, or a missing justification. *)
+
+val load : string -> (entry list, string) result
+(** [parse] the given file.  A missing file is an empty baseline. *)
+
+val render : Finding.t list -> string
+(** Render findings as a fresh baseline (line-pinned entries with
+    [TODO: justify] placeholders) for [fp_lint --update]. *)
+
+type verdict = {
+  unbaselined : Finding.t list;  (** findings no entry covers *)
+  stale : entry list;            (** entries covering nothing *)
+}
+
+val apply : entry list -> Finding.t list -> verdict
+(** Match findings against entries.  [SA000] findings are never
+    baselineable and always come back in [unbaselined]. *)

@@ -1,0 +1,33 @@
+(** Repository walker: parse every implementation file, run {!Rules},
+    add the global SA007 cross-checks.
+
+    The driver is what [bin/fp_lint] and the [@lint] alias call; the
+    corpus tests call {!lint_file} directly on fixture files with a
+    forced role. *)
+
+val default_context : Rules.context
+(** [known_sites] seeded from {!Fp_util.Fault.builtin} — the canonical
+    catalogue the linter itself links against, so the lint and the
+    runtime can never disagree about the site list. *)
+
+val parse_file : string -> (Parsetree.structure, string) result
+(** Parse one [.ml] file with the compiler's own parser. *)
+
+val lint_file :
+  ?ctx:Rules.context ->
+  ?role:Rules.role ->
+  root:string ->
+  string ->
+  Finding.t list
+(** Lint a single file.  The second argument is the path relative to
+    [root] (also the path findings carry).  [role] defaults to
+    {!Rules.role_of_path}; an unparseable file yields one [SA000]
+    finding. *)
+
+val lint_tree : ?ctx:Rules.context -> root:string -> unit -> Finding.t list
+(** Walk [lib/], [bin/], [bench/] and [examples/] under [root], lint
+    every [.ml] file, and run the global SA007 checks: every
+    [Fault.register] literal must be in the canonical catalogue, every
+    catalogue site must be registered somewhere in the tree, and
+    [docs/robustness.md] must document every catalogue site.  Findings
+    come back sorted. *)

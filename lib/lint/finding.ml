@@ -1,0 +1,89 @@
+type rule =
+  | SA000
+  | SA001
+  | SA002
+  | SA003
+  | SA004
+  | SA005
+  | SA006
+  | SA007
+  | SA008
+
+let all_rules = [ SA001; SA002; SA003; SA004; SA005; SA006; SA007; SA008 ]
+
+let rule_name = function
+  | SA000 -> "SA000"
+  | SA001 -> "SA001"
+  | SA002 -> "SA002"
+  | SA003 -> "SA003"
+  | SA004 -> "SA004"
+  | SA005 -> "SA005"
+  | SA006 -> "SA006"
+  | SA007 -> "SA007"
+  | SA008 -> "SA008"
+
+let rule_of_string s =
+  match String.uppercase_ascii s with
+  | "SA000" -> Some SA000
+  | "SA001" -> Some SA001
+  | "SA002" -> Some SA002
+  | "SA003" -> Some SA003
+  | "SA004" -> Some SA004
+  | "SA005" -> Some SA005
+  | "SA006" -> Some SA006
+  | "SA007" -> Some SA007
+  | "SA008" -> Some SA008
+  | _ -> None
+
+let rule_doc = function
+  | SA000 -> "file could not be parsed (infrastructure failure, never baselined)"
+  | SA001 ->
+    "raw float comparison (=, <>, <, <=, >, >=, compare) — use Fp_geometry.Tol"
+  | SA002 -> "Stdlib.Random — all randomness must go through Fp_util.Rng"
+  | SA003 ->
+    "stdout/stderr write inside lib/ — log through Logs or return data; \
+     printing belongs to the CLI/bench layer"
+  | SA004 ->
+    "wall-clock read (Unix.gettimeofday, Sys.time) outside the sanctioned \
+     timing sites (Augment, CLI/bench layer)"
+  | SA005 ->
+    "closure submitted to Pool.run/Pool.map touches captured mutable state \
+     without Atomic/Mutex, or routes the worker id into captured state \
+     (eager per-worker-copy convention, docs/parallel.md)"
+  | SA006 ->
+    "catch-all exception handler can swallow Augment.Abort / Fault.Injected \
+     — match concrete exceptions or re-raise"
+  | SA007 ->
+    "fault-site literal absent from the canonical Fault.builtin catalogue \
+     (or catalogue, registrations and docs/robustness.md drifted apart)"
+  | SA008 ->
+    "exit with an integer literal — exit codes come from the \
+     Fp_core.Degradation mapping"
+
+let rule_index = function
+  | SA000 -> 0
+  | SA001 -> 1
+  | SA002 -> 2
+  | SA003 -> 3
+  | SA004 -> 4
+  | SA005 -> 5
+  | SA006 -> 6
+  | SA007 -> 7
+  | SA008 -> 8
+
+type t = { file : string; line : int; rule : rule; msg : string }
+
+let v ~file ~line rule msg = { file; line; rule; msg }
+
+let to_string t =
+  Printf.sprintf "%s:%d %s %s" t.file t.line (rule_name t.rule) t.msg
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare (rule_index a.rule) (rule_index b.rule) in
+      if c <> 0 then c else String.compare a.msg b.msg

@@ -1,0 +1,54 @@
+(** Source-level lint findings.
+
+    One finding is one violation of a source invariant at a
+    [file:line], tagged with the rule that produced it.  Rules carry
+    SA ("source analysis") codes, mirroring the ML/FL/CT code scheme
+    of {!Fp_check.Diagnostic} — the two layers are complementary:
+    [Fp_check] certifies {e outputs} (models and floorplans), this
+    library certifies the {e source} that produces them.  The full
+    catalogue with examples lives in [docs/static-analysis.md]. *)
+
+type rule =
+  | SA000  (** the file could not be parsed — always fatal, never baselined *)
+  | SA001  (** raw float comparison outside [lib/geometry/tol.ml] *)
+  | SA002  (** [Stdlib.Random] outside [lib/util/rng.ml] *)
+  | SA003  (** stdout/stderr write inside [lib/] *)
+  | SA004  (** wall-clock read outside the sanctioned timing sites *)
+  | SA005  (** closure given to [Pool.run]/[Pool.map] touches captured
+               mutable state without [Atomic]/[Mutex], or indexes shared
+               state by the worker id (eager per-worker-copy convention) *)
+  | SA006  (** catch-all exception handler that can swallow
+               [Augment.Abort] / [Fault.Injected] *)
+  | SA007  (** fault-site literal not in the canonical
+               {!Fp_util.Fault.builtin} catalogue (or catalogue/docs
+               drift) *)
+  | SA008  (** [exit] with an integer literal outside the
+               {!Fp_core.Degradation} exit-code mapping *)
+
+val all_rules : rule list
+(** Every rule, in code order ([SA000] excluded — it is an infrastructure
+    failure, not a lintable invariant). *)
+
+val rule_name : rule -> string
+(** ["SA001"], ... *)
+
+val rule_of_string : string -> rule option
+(** Inverse of {!rule_name} (case-insensitive). *)
+
+val rule_doc : rule -> string
+(** One-line description, used by [fp_lint --list-rules]. *)
+
+type t = {
+  file : string;  (** repo-relative path, ['/']-separated *)
+  line : int;     (** 1-based *)
+  rule : rule;
+  msg : string;
+}
+
+val v : file:string -> line:int -> rule -> string -> t
+
+val to_string : t -> string
+(** ["file:line SA00x message"] — the grep/CI-friendly rendering. *)
+
+val compare : t -> t -> int
+(** Order by file, then line, then rule code, then message. *)

@@ -1,3 +1,5 @@
+module Tol = Fp_geometry.Tol
+
 type shape =
   | Rigid of { w : float; h : float }
   | Flexible of { area : float; min_aspect : float; max_aspect : float }
@@ -5,16 +7,16 @@ type shape =
 type t = { id : int; name : string; shape : shape }
 
 let rigid ~id ~name ~w ~h =
-  if w <= 0. || h <= 0. then
+  if Tol.leq w 0. || Tol.leq h 0. then
     invalid_arg
       (Printf.sprintf "Module_def.rigid %s: non-positive dims %gx%g" name w h);
   { id; name; shape = Rigid { w; h } }
 
 let flexible ~id ~name ~area ~min_aspect ~max_aspect =
-  if area <= 0. then
+  if Tol.leq area 0. then
     invalid_arg
       (Printf.sprintf "Module_def.flexible %s: non-positive area %g" name area);
-  if min_aspect <= 0. || max_aspect < min_aspect then
+  if Tol.leq min_aspect 0. || Tol.lt max_aspect min_aspect then
     invalid_arg
       (Printf.sprintf
          "Module_def.flexible %s: bad aspect interval [%g, %g]" name
@@ -39,7 +41,7 @@ let height_for_width t w =
   match t.shape with
   | Rigid { h; _ } -> h
   | Flexible { area; _ } ->
-    if w <= 0. then invalid_arg "Module_def.height_for_width: w <= 0";
+    if Tol.leq w 0. then invalid_arg "Module_def.height_for_width: w <= 0";
     area /. w
 
 let pp ppf t =

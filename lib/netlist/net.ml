@@ -1,3 +1,5 @@
+module Tol = Fp_geometry.Tol
+
 type side = Left | Right | Bottom | Top
 type pin = { module_id : int; side : side }
 type t = { name : string; pins : pin list; criticality : float }
@@ -5,7 +7,7 @@ type t = { name : string; pins : pin list; criticality : float }
 let make ?(criticality = 0.) ~name pins =
   if List.length pins < 2 then
     invalid_arg (Printf.sprintf "Net.make %s: needs at least two pins" name);
-  if criticality < 0. || criticality > 1. then
+  if Tol.lt criticality 0. || Tol.gt criticality 1. then
     invalid_arg
       (Printf.sprintf "Net.make %s: criticality %g outside [0,1]" name
          criticality);

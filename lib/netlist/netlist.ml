@@ -93,7 +93,7 @@ let validate t =
   let problems = ref [] in
   Array.iter
     (fun m ->
-      if Module_def.area m <= 0. then
+      if Fp_geometry.Tol.leq (Module_def.area m) 0. then
         problems :=
           Printf.sprintf "module %s has non-positive area" m.Module_def.name
           :: !problems)

@@ -149,7 +149,7 @@ let to_string nl =
   List.iter
     (fun net ->
       Buffer.add_string buf (Printf.sprintf "net %s" net.Net.name);
-      if net.Net.criticality > 0. then
+      if Fp_geometry.Tol.gt net.Net.criticality 0. then
         Buffer.add_string buf (Printf.sprintf " crit=%.12g" net.Net.criticality);
       List.iter
         (fun p ->

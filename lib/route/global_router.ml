@@ -2,6 +2,7 @@ module Net = Fp_netlist.Net
 module Netlist = Fp_netlist.Netlist
 module Placement = Fp_core.Placement
 module Heap = Fp_util.Heap
+module Tol = Fp_geometry.Tol
 
 type algorithm = Shortest_path | Weighted of { penalty : float }
 
@@ -27,7 +28,7 @@ let edge_cost algorithm usage (e : Channel_graph.edge) idx =
   | Weighted { penalty } ->
     let after = usage.(idx) +. 1. in
     let over =
-      if e.Channel_graph.capacity <= 0. then after
+      if Tol.leq e.Channel_graph.capacity 0. then after
       else Float.max 0. (after -. e.Channel_graph.capacity)
            /. Float.max 1. e.Channel_graph.capacity
     in
@@ -43,7 +44,7 @@ let shortest_path graph algorithm usage ~sources ~target =
   let heap = Heap.create () in
   List.iter
     (fun s ->
-      if dist.(s) > 0. then begin
+      if Tol.gt dist.(s) 0. then begin
         dist.(s) <- 0.;
         Heap.push heap 0. s
       end)
@@ -52,14 +53,14 @@ let shortest_path graph algorithm usage ~sources ~target =
     match Heap.pop heap with
     | None -> None
     | Some (d, u) ->
-      if d > dist.(u) +. 1e-12 then walk () (* stale entry *)
+      if Tol.gt ~tol:1e-12 d dist.(u) then walk () (* stale entry *)
       else if u = target then Some u
       else begin
         List.iter
           (fun (v, ei) ->
             let e = Channel_graph.edge_at graph ei in
             let nd = d +. edge_cost algorithm usage e ei in
-            if nd < dist.(v) -. 1e-12 then begin
+            if Tol.lt ~tol:1e-12 nd dist.(v) then begin
               dist.(v) <- nd;
               via.(v) <- ei;
               from.(v) <- u;

@@ -1,6 +1,7 @@
 module Rng = Fp_util.Rng
 module Netlist = Fp_netlist.Netlist
 module Rect = Fp_geometry.Rect
+module Tol = Fp_geometry.Tol
 module Placement = Fp_core.Placement
 module Metrics = Fp_core.Metrics
 
@@ -51,7 +52,7 @@ let placement_of nl cfg expr =
 
 let cost_of nl cfg expr =
   let pl, w, h = placement_of nl cfg expr in
-  let wire = if cfg.wire_weight = 0. then 0. else Metrics.hpwl nl pl in
+  let wire = if Tol.is_zero cfg.wire_weight then 0. else Metrics.hpwl nl pl in
   (w *. h) +. (cfg.wire_weight *. wire)
 
 (* One random neighbour; returns None when the drawn move has no

@@ -7,11 +7,11 @@ type option_list = (float * float) list
 let leaf_options ?(samples = 6) (m : Module_def.t) =
   match m.Module_def.shape with
   | Module_def.Rigid { w; h } ->
-    if Float.abs (w -. h) <= Tol.eps then [ (w, h) ] else [ (w, h); (h, w) ]
+    if Tol.equal w h then [ (w, h) ] else [ (w, h); (h, w) ]
   | Module_def.Flexible { area; min_aspect; max_aspect } ->
     let w_min = Float.sqrt (area *. min_aspect)
     and w_max = Float.sqrt (area *. max_aspect) in
-    if w_max -. w_min <= Tol.eps then [ (w_min, area /. w_min) ]
+    if Tol.leq w_max w_min then [ (w_min, area /. w_min) ]
     else
       List.init samples (fun i ->
           let t = float_of_int i /. float_of_int (samples - 1) in
@@ -41,7 +41,7 @@ let prune entries =
     | [] -> List.rev acc
     | e :: rest -> (
       match acc with
-      | prev :: _ when e.h >= prev.h -. Tol.eps -> go acc rest
+      | prev :: _ when Tol.geq e.h prev.h -> go acc rest
       | _ -> go (e :: acc) rest)
   in
   Array.of_list (go [] sorted)
@@ -96,7 +96,7 @@ let best_area_entry s =
     (fun acc e ->
       match acc with
       | None -> Some e
-      | Some b -> if e.w *. e.h < (b.w *. b.h) -. Tol.eps then Some e else acc)
+      | Some b -> if Tol.lt (e.w *. e.h) (b.w *. b.h) then Some e else acc)
     None s.curve
   |> Option.get
 
@@ -110,7 +110,7 @@ let realize ?width_limit s =
     | None -> best_area_entry s
     | Some wl -> (
       let fitting =
-        Array.to_list s.curve |> List.filter (fun e -> e.w <= wl +. Tol.eps)
+        Array.to_list s.curve |> List.filter (fun e -> Tol.leq e.w wl)
       in
       match fitting with
       | [] -> best_area_entry s

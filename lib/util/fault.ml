@@ -1,5 +1,31 @@
 exception Injected of string
 
+(* Canonical site catalogue.  The single source of truth for every fault
+   site shipped with the solve stack: instrumented modules register these
+   names at load time, the CLI [--faults] help text renders this table,
+   docs/robustness.md documents exactly these rows, and the SA007 source
+   lint cross-checks all of them against each other.  Adding a site means
+   adding it here first. *)
+let builtin =
+  [
+    ( "augment.candidate_milp",
+      "candidate-group MILP evaluation dies; surviving candidates, retry \
+       ladder or raw warm packing decide the step" );
+    ( "augment.hook",
+      "inspection hook raises; contained, the run continues" );
+    ( "basis.singular_lu",
+      "singular LU while factorizing a warm basis; cold re-solve" );
+    ( "branch_bound.budget",
+      "node/time budget exhausted; retry ladder, then warm fallback" );
+    ( "branch_bound.task_loss",
+      "parallel frontier task lost; inline re-run, bit-identical result" );
+    ( "pool.worker_exn",
+      "worker domain crashes mid-task; candidate evaluation falls back to \
+       sequential" );
+    ( "revised.iteration_limit",
+      "stalled simplex on a node LP; parent-bound retreat" );
+  ]
+
 type spec = {
   site : string;
   after : int;

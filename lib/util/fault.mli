@@ -33,6 +33,17 @@ exception Injected of string
 (** Raised by {!trip} (and by instrumented code that chooses to fail by
     exception) with the site name. *)
 
+val builtin : (string * string) list
+(** Canonical [(site, description)] catalogue of every fault site shipped
+    with the solve stack, sorted by site name.  This list is the single
+    source of truth: instrumented modules {!register} exactly these
+    names, the CLI [--faults] help text is rendered from it,
+    [docs/robustness.md] documents these rows, and the SA007 source lint
+    ([bin/fp_lint]) fails the build when a registered literal, this
+    catalogue, or the docs drift apart.  {!register} stays permissive
+    (tests register scratch sites), so the lint — not the runtime — is
+    the enforcement point. *)
+
 type spec = {
   site : string;
   after : int;  (** hits to let through before the fault becomes eligible

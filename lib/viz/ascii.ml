@@ -1,9 +1,10 @@
 module Rect = Fp_geometry.Rect
+module Tol = Fp_geometry.Tol
 module Placement = Fp_core.Placement
 
 let render ?(cols = 72) pl =
   let w = pl.Placement.chip_width and h = pl.Placement.height in
-  if w <= 0. || h <= 0. then "(empty placement)\n"
+  if Tol.leq w 0. || Tol.leq h 0. then "(empty placement)\n"
   else begin
     let sx = float_of_int cols /. w in
     (* Terminal cells are ~2x taller than wide. *)

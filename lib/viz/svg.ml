@@ -1,5 +1,6 @@
 module Rect = Fp_geometry.Rect
 module Point = Fp_geometry.Point
+module Tol = Fp_geometry.Tol
 module Placement = Fp_core.Placement
 module Netlist = Fp_netlist.Netlist
 module Module_def = Fp_netlist.Module_def
@@ -80,11 +81,11 @@ let of_routed ?(scale = 6.) ?netlist pl rt =
   Array.iteri
     (fun i (e : Fp_route.Channel_graph.edge) ->
       let usage = rt.Fp_route.Global_router.usage.(i) in
-      if usage > 0. then begin
+      if Tol.gt usage 0. then begin
         let a = Fp_route.Channel_graph.node_pos graph e.Fp_route.Channel_graph.a
         and b = Fp_route.Channel_graph.node_pos graph e.Fp_route.Channel_graph.b
         in
-        let over = usage > e.Fp_route.Channel_graph.capacity in
+        let over = Tol.gt usage e.Fp_route.Channel_graph.capacity in
         Buffer.add_string buf
           (Printf.sprintf
              "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"%s\" \

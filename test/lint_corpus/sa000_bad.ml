@@ -1,0 +1,2 @@
+(* SA000: this file deliberately does not parse. *)
+let let = (

@@ -1,0 +1,5 @@
+(* SA001 negative: tolerance-disciplined and non-float comparisons. *)
+let lt a b = Fp_geometry.Tol.lt a b
+let close a b = Fp_geometry.Tol.within ~tol:1e-9 a b
+let int_cmp (a : int) b = a < b
+let pick a b = Float.min a b

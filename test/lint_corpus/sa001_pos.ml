@@ -1,0 +1,5 @@
+(* SA001 positive: raw float comparisons a library module must not make. *)
+let lt_literal x = x < 1.5
+let cmp_arith a b = a +. 1. >= b
+let eq_annotated a b = (a : float) = b
+let via_float_compare a b = Float.compare a b

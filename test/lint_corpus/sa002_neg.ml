@@ -1,0 +1,3 @@
+(* SA002 negative: seeded Rng streams. *)
+let draw rng = Fp_util.Rng.int rng 10
+let fresh seed = Fp_util.Rng.create ~seed

@@ -1,0 +1,3 @@
+(* SA002 positive: ambient Stdlib.Random instead of Fp_util.Rng. *)
+let draw () = Random.int 10
+let noisy () = Stdlib.Random.float 1.0

@@ -1,0 +1,4 @@
+(* SA003 negative: structured logging and data-returning renderers. *)
+let report x = Logs.info (fun m -> m "%s" x)
+let render buf x = Buffer.add_string buf x
+let show ppf x = Format.fprintf ppf "%s" x

@@ -1,0 +1,4 @@
+(* SA003 positive: direct stdout/stderr writes from library code. *)
+let report x = print_endline x
+let shout fmt_arg = Printf.printf "%s\n" fmt_arg
+let complain x = Format.eprintf "%s@." x

@@ -1,0 +1,6 @@
+(* SA004 negative: logical clocks only. *)
+let ticks = ref 0
+
+let stamp () =
+  incr ticks;
+  !ticks

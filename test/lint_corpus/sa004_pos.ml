@@ -1,0 +1,3 @@
+(* SA004 positive: wall-clock reads in library code. *)
+let stamp () = Unix.gettimeofday ()
+let cpu () = Sys.time ()

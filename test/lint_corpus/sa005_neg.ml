@@ -1,0 +1,26 @@
+(* SA005 negative: synchronized or task-disjoint Pool closures. *)
+let hits = Atomic.make 0
+
+(* Atomic counters are fine. *)
+let count pool items =
+  Fp_util.Pool.map pool
+    (fun ~worker:_ i ->
+      Atomic.incr hits;
+      i)
+    items
+
+(* The disjoint-slot convention: captured array written at an index
+   derived from the task argument. *)
+let gather pool n f =
+  let out = Array.make n None in
+  Fp_util.Pool.run pool (fun ~worker:_ i -> out.(i) <- Some (f i));
+  out
+
+(* Purely local mutation inside the task. *)
+let local_sum pool xs =
+  Fp_util.Pool.map pool
+    (fun ~worker:_ row ->
+      let t = ref 0. in
+      Array.iter (fun v -> t := !t +. v) row;
+      !t)
+    xs

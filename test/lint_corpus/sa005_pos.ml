@@ -1,0 +1,30 @@
+(* SA005 positive: Pool closures racing on captured mutable state. *)
+let hits = ref 0
+
+type acc = { mutable best : float }
+
+let shared = { best = 0. }
+
+(* Captured ref mutated without Atomic. *)
+let count pool items =
+  Fp_util.Pool.map pool
+    (fun ~worker:_ i ->
+      incr hits;
+      i)
+    items
+
+(* Captured record field mutated without a lock. *)
+let scan pool xs =
+  Fp_util.Pool.map pool
+    (fun ~worker:_ x ->
+      if x > shared.best then shared.best <- x;
+      x)
+    xs
+
+(* Worker id routed into captured per-worker state (needs a baseline
+   justification when the copies really are eager and disjoint). *)
+let states = Array.make 8 None
+
+let wave pool tasks =
+  ignore tasks;
+  Fp_util.Pool.run pool (fun ~worker () -> ignore (Array.get states worker))

@@ -1,0 +1,4 @@
+(* SA006 positive: catch-alls that swallow the containment exceptions. *)
+let guard f = try f () with _ -> None
+
+let quiet f x = try Some (f x) with e -> ignore e; None

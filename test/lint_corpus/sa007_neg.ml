@@ -1,0 +1,2 @@
+(* SA007 negative: a catalogued fault site. *)
+let poke () = Fp_util.Fault.fire "pool.worker_exn"

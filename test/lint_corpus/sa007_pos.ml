@@ -1,0 +1,2 @@
+(* SA007 positive: fault-site literal outside the canonical catalogue. *)
+let poke () = Fp_util.Fault.fire "totally.unknown_site"

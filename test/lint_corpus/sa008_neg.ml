@@ -1,0 +1,3 @@
+(* SA008 negative: exit codes drawn from the Degradation mapping. *)
+let () =
+  if Array.length Sys.argv > 3 then exit Fp_core.Degradation.exit_error

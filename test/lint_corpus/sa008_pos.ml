@@ -1,0 +1,2 @@
+(* SA008 positive: exit with a bare integer literal. *)
+let () = if Array.length Sys.argv > 3 then exit 2

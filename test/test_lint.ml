@@ -1,0 +1,235 @@
+(* Tests for Fp_lint: rule detection on the corpus fixtures, baseline
+   parsing/matching/drift, and the repo-wide clean-against-baseline
+   check. *)
+
+module Finding = Fp_lint.Finding
+module Rules = Fp_lint.Rules
+module Baseline = Fp_lint.Baseline
+module Driver = Fp_lint.Driver
+
+let corpus = "lint_corpus"
+
+let lint ?role name =
+  let role = Option.value role ~default:Rules.Lib in
+  Driver.lint_file ~role ~root:"." (Filename.concat corpus name)
+
+let rule_names fs =
+  List.sort_uniq String.compare
+    (List.map (fun f -> Finding.rule_name f.Finding.rule) fs)
+
+let check_rules msg expected fs =
+  Alcotest.(check (list string)) msg expected (rule_names fs)
+
+(* ------------------------- corpus: positives ------------------------ *)
+
+let test_sa001_pos () =
+  let fs = lint "sa001_pos.ml" in
+  check_rules "only SA001" [ "SA001" ] fs;
+  Alcotest.(check int) "all four sites" 4 (List.length fs)
+
+let test_sa002_pos () = check_rules "only SA002" [ "SA002" ] (lint "sa002_pos.ml")
+let test_sa003_pos () =
+  let fs = lint "sa003_pos.ml" in
+  check_rules "only SA003" [ "SA003" ] fs;
+  Alcotest.(check int) "all three writers" 3 (List.length fs)
+
+let test_sa004_pos () = check_rules "only SA004" [ "SA004" ] (lint "sa004_pos.ml")
+
+let test_sa005_pos () =
+  let fs = lint "sa005_pos.ml" in
+  check_rules "only SA005" [ "SA005" ] fs;
+  Alcotest.(check int) "ref + field + worker escape" 3 (List.length fs)
+
+let test_sa006_pos () =
+  let fs = lint "sa006_pos.ml" in
+  check_rules "only SA006" [ "SA006" ] fs;
+  Alcotest.(check int) "both handlers" 2 (List.length fs)
+
+let test_sa007_pos () = check_rules "only SA007" [ "SA007" ] (lint "sa007_pos.ml")
+let test_sa008_pos () = check_rules "only SA008" [ "SA008" ] (lint "sa008_pos.ml")
+
+let test_sa000_unparseable () =
+  check_rules "SA000 for garbage" [ "SA000" ] (lint "sa000_bad.ml")
+
+(* ------------------------- corpus: negatives ------------------------ *)
+
+let neg name () = check_rules (name ^ " clean") [] (lint name)
+
+(* ------------------------------ roles ------------------------------- *)
+
+let test_roles_gate_rules () =
+  (* stdout writes and raw float comparisons are lib-only concerns. *)
+  check_rules "SA003 off outside lib" [] (lint ~role:Rules.Bench "sa003_pos.ml");
+  check_rules "SA001 off outside lib" [] (lint ~role:Rules.Bin "sa001_pos.ml");
+  (* the domain-safety and exit-code rules follow the code everywhere. *)
+  check_rules "SA005 on in bench" [ "SA005" ]
+    (lint ~role:Rules.Bench "sa005_pos.ml");
+  check_rules "SA008 on in examples" [ "SA008" ]
+    (lint ~role:Rules.Examples "sa008_pos.ml")
+
+(* ----------------------------- baseline ----------------------------- *)
+
+let entry file line rule just =
+  {
+    Baseline.e_file = file;
+    e_line = line;
+    e_rule = rule;
+    e_just = just;
+    e_src_line = 1;
+  }
+
+let test_baseline_parse () =
+  let text =
+    "# comment\n\
+     \n\
+     lib/lp/basis.ml SA001 -- LU kernel\n\
+     lib/milp/branch_bound.ml:211 SA004 -- deadline enforcement\n"
+  in
+  match Baseline.parse ~path:"b" text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok [ a; b ] ->
+    Alcotest.(check string) "file" "lib/lp/basis.ml" a.Baseline.e_file;
+    Alcotest.(check (option int)) "whole file" None a.Baseline.e_line;
+    Alcotest.(check (option int)) "pinned" (Some 211) b.Baseline.e_line;
+    Alcotest.(check string) "justification" "deadline enforcement"
+      b.Baseline.e_just
+  | Ok es -> Alcotest.failf "expected 2 entries, got %d" (List.length es)
+
+let expect_parse_error what text =
+  match Baseline.parse ~path:"b" text with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: parse unexpectedly succeeded" what
+
+let test_baseline_rejects () =
+  expect_parse_error "missing justification" "lib/a.ml SA001\n";
+  expect_parse_error "empty justification" "lib/a.ml SA001 -- \n";
+  expect_parse_error "unknown rule" "lib/a.ml SA999 -- why\n";
+  expect_parse_error "SA000 not baselineable" "lib/a.ml SA000 -- why\n";
+  expect_parse_error "malformed" "just some words\n"
+
+let test_baseline_apply () =
+  let f1 = Finding.v ~file:"lib/a.ml" ~line:10 Finding.SA001 "x"
+  and f2 = Finding.v ~file:"lib/a.ml" ~line:20 Finding.SA001 "y"
+  and f3 = Finding.v ~file:"lib/b.ml" ~line:5 Finding.SA004 "z" in
+  (* Whole-file entry covers every line of its rule in that file. *)
+  let v =
+    Baseline.apply [ entry "lib/a.ml" None Finding.SA001 "j" ] [ f1; f2; f3 ]
+  in
+  Alcotest.(check (list string)) "f3 unbaselined"
+    [ Finding.to_string f3 ]
+    (List.map Finding.to_string v.Baseline.unbaselined);
+  Alcotest.(check int) "no stale" 0 (List.length v.Baseline.stale);
+  (* Line-pinned entry covers exactly its line. *)
+  let v =
+    Baseline.apply
+      [ entry "lib/a.ml" (Some 10) Finding.SA001 "j" ]
+      [ f1; f2 ]
+  in
+  Alcotest.(check (list string)) "f2 left"
+    [ Finding.to_string f2 ]
+    (List.map Finding.to_string v.Baseline.unbaselined);
+  (* An entry covering nothing is stale (drift check). *)
+  let v = Baseline.apply [ entry "lib/gone.ml" (Some 3) Finding.SA001 "j" ] [] in
+  Alcotest.(check int) "stale entry surfaces" 1 (List.length v.Baseline.stale)
+
+let test_baseline_never_covers_sa000 () =
+  let f = Finding.v ~file:"lib/a.ml" ~line:1 Finding.SA000 "unparseable" in
+  let v = Baseline.apply [ entry "lib/a.ml" None Finding.SA000 "j" ] [ f ] in
+  Alcotest.(check int) "SA000 stays" 1 (List.length v.Baseline.unbaselined)
+
+(* --------------------- repo-wide baseline match --------------------- *)
+
+(* The suite runs from _build/default/test; walk up to the real source
+   root (the first ancestor holding dune-project and lint.baseline whose
+   path is outside _build) and lint it exactly as `dune build @lint`
+   does.  Skipped when no such root exists (e.g. opam sandbox). *)
+let find_repo_root () =
+  let rec up dir =
+    let has f = Sys.file_exists (Filename.concat dir f) in
+    let in_build =
+      List.mem "_build" (String.split_on_char '/' dir)
+    in
+    if (not in_build) && has "dune-project" && has "lint.baseline" then
+      Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent
+  in
+  up (Sys.getcwd ())
+
+let test_repo_clean_against_baseline () =
+  match find_repo_root () with
+  | None -> ()
+  | Some root -> (
+    let findings = Driver.lint_tree ~root () in
+    match Baseline.load (Filename.concat root "lint.baseline") with
+    | Error e -> Alcotest.failf "baseline: %s" e
+    | Ok entries ->
+      let v = Baseline.apply entries findings in
+      Alcotest.(check (list string)) "no unbaselined findings" []
+        (List.map Finding.to_string v.Baseline.unbaselined);
+      Alcotest.(check int) "no stale baseline entries" 0
+        (List.length v.Baseline.stale))
+
+let test_repo_baseline_has_justifications () =
+  match find_repo_root () with
+  | None -> ()
+  | Some root -> (
+    match Baseline.load (Filename.concat root "lint.baseline") with
+    | Error e -> Alcotest.failf "baseline: %s" e
+    | Ok entries ->
+      Alcotest.(check bool) "baseline is non-trivial" true
+        (List.length entries > 0);
+      List.iter
+        (fun (e : Baseline.entry) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s has a real justification" e.Baseline.e_file)
+            true
+            (String.length (String.trim e.Baseline.e_just) >= 10))
+        entries)
+
+let () =
+  Alcotest.run "fp_lint"
+    [
+      ( "corpus-pos",
+        [
+          Alcotest.test_case "SA001 float compares" `Quick test_sa001_pos;
+          Alcotest.test_case "SA002 ambient Random" `Quick test_sa002_pos;
+          Alcotest.test_case "SA003 stdout writes" `Quick test_sa003_pos;
+          Alcotest.test_case "SA004 wall clock" `Quick test_sa004_pos;
+          Alcotest.test_case "SA005 racy closures" `Quick test_sa005_pos;
+          Alcotest.test_case "SA006 swallowing catch-alls" `Quick
+            test_sa006_pos;
+          Alcotest.test_case "SA007 unknown fault site" `Quick test_sa007_pos;
+          Alcotest.test_case "SA008 literal exit" `Quick test_sa008_pos;
+          Alcotest.test_case "SA000 unparseable" `Quick test_sa000_unparseable;
+        ] );
+      ( "corpus-neg",
+        [
+          Alcotest.test_case "tolerance compares" `Quick (neg "sa001_neg.ml");
+          Alcotest.test_case "seeded rng" `Quick (neg "sa002_neg.ml");
+          Alcotest.test_case "logging" `Quick (neg "sa003_neg.ml");
+          Alcotest.test_case "logical clocks" `Quick (neg "sa004_neg.ml");
+          Alcotest.test_case "synchronized closures" `Quick (neg "sa005_neg.ml");
+          Alcotest.test_case "containment handlers" `Quick (neg "sa006_neg.ml");
+          Alcotest.test_case "catalogued fault site" `Quick (neg "sa007_neg.ml");
+          Alcotest.test_case "mapped exit codes" `Quick (neg "sa008_neg.ml");
+        ] );
+      ( "roles",
+        [ Alcotest.test_case "role gating" `Quick test_roles_gate_rules ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "parse" `Quick test_baseline_parse;
+          Alcotest.test_case "rejects bad entries" `Quick test_baseline_rejects;
+          Alcotest.test_case "apply/stale" `Quick test_baseline_apply;
+          Alcotest.test_case "SA000 uncoverable" `Quick
+            test_baseline_never_covers_sa000;
+        ] );
+      ( "repo",
+        [
+          Alcotest.test_case "clean against baseline" `Quick
+            test_repo_clean_against_baseline;
+          Alcotest.test_case "justifications present" `Quick
+            test_repo_baseline_has_justifications;
+        ] );
+    ]
