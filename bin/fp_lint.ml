@@ -1,18 +1,30 @@
 (* Source-invariant linter driver.
 
    Tree mode (no FILES): lint lib/, bin/, bench/ and examples/ under
-   --root, subtract the justification-annotated baseline, and exit
-   non-zero when anything is left:
+   --root (syntactic rules + the interprocedural SA010-SA012 over the
+   whole-tree call graph), subtract the justification-annotated
+   baseline, and exit non-zero when anything is left:
 
      exit 0 — clean against the baseline
      exit 1 — unbaselined findings (or an unparseable file)
-     exit 2 — baseline problems: malformed entry, missing justification,
-              or stale entries whose file:line no longer fires (drift)
+     exit 2 — baseline problems: missing or unreadable baseline file,
+              malformed entry, missing justification, or stale entries
+              whose file:line no longer fires (drift)
 
    File mode (explicit FILES, used by the corpus tests and the CI
    injection check): lint each file under a forced role (default lib,
    the strictest) and print every finding; exit 1 when any fire.  The
-   baseline is not consulted in file mode.
+   baseline is not consulted in file mode, and the interprocedural
+   rules see only a single-file call graph.
+
+   Report artifacts (tree-wide, exit 0, no baseline needed):
+
+     --effects        print per-function effect summaries for lib/
+                      (committed as docs/effects-summary.md, CI-diffed)
+     --callgraph-dot  print the module-qualified call graph as Graphviz
+
+   --sarif FILE additionally writes the findings as SARIF 2.1 (baseline
+   matches become suppressions) in either lint mode.
 
    See docs/static-analysis.md for the rule catalogue. *)
 
@@ -26,6 +38,9 @@ let () =
   let update = ref false in
   let role = ref "lib" in
   let list_rules = ref false in
+  let effects = ref false in
+  let callgraph_dot = ref false in
+  let sarif = ref "" in
   let files = ref [] in
   let spec =
     [
@@ -42,6 +57,16 @@ let () =
         "ROLE role for explicit FILES: lib|bin|bench|examples (default: \
          lib)" );
       ("--list-rules", Arg.Set list_rules, " print the rule catalogue");
+      ( "--effects",
+        Arg.Set effects,
+        " print the inferred per-function effect summaries (lib/) and exit" );
+      ( "--callgraph-dot",
+        Arg.Set callgraph_dot,
+        " print the whole-tree call graph as Graphviz dot and exit" );
+      ( "--sarif",
+        Arg.Set_string sarif,
+        "FILE also write findings as SARIF 2.1 (baselined findings become \
+         suppressions)" );
     ]
   in
   Arg.parse spec (fun f -> files := f :: !files) usage;
@@ -53,7 +78,22 @@ let () =
       Lint.Finding.all_rules;
     exit 0
   end;
+  if !effects then begin
+    print_string (Lint.Driver.effects_report ~root:!root ());
+    exit 0
+  end;
+  if !callgraph_dot then begin
+    print_string (Lint.Driver.callgraph_dot ~root:!root ());
+    exit 0
+  end;
   let die code fmt = Printf.ksprintf (fun m -> prerr_endline m; exit code) fmt in
+  let write_sarif ?(baseline = []) findings =
+    if !sarif <> "" then begin
+      let oc = open_out !sarif in
+      output_string oc (Lint.Sarif.render ~baseline findings);
+      close_out oc
+    end
+  in
   match List.rev !files with
   | _ :: _ as files ->
     (* File mode. *)
@@ -66,11 +106,13 @@ let () =
       | r -> die 2 "unknown --role %S" r
     in
     let findings =
-      List.concat_map (fun f -> Lint.Driver.lint_file ~role ~root:"." f) files
+      List.sort_uniq Lint.Finding.compare
+        (List.concat_map
+           (fun f -> Lint.Driver.lint_file ~role ~root:"." f)
+           files)
     in
-    List.iter
-      (fun f -> print_endline (Lint.Finding.to_string f))
-      (List.sort_uniq Lint.Finding.compare findings);
+    List.iter (fun f -> print_endline (Lint.Finding.to_string f)) findings;
+    write_sarif findings;
     exit (if findings = [] then 0 else 1)
   | [] ->
     (* Tree mode. *)
@@ -92,8 +134,9 @@ let () =
     let entries =
       match Lint.Baseline.load baseline_path with
       | Ok e -> e
-      | Error msg -> die 2 "fp_lint: bad baseline: %s" msg
+      | Error msg -> die 2 "fp_lint: baseline: %s" msg
     in
+    write_sarif ~baseline:entries findings;
     let v = Lint.Baseline.apply entries findings in
     List.iter
       (fun f -> print_endline (Lint.Finding.to_string f))

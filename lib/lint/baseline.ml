@@ -73,14 +73,28 @@ let parse ~path text =
   in
   go [] 1 lines
 
+(* A missing baseline is an error, not an empty baseline: silently
+   treating it as empty turns a typo'd --baseline path (or a deleted
+   file) into "every baselined finding now fails", or worse, into a
+   clean run under --update.  The explicit empty baseline is an empty
+   (or all-comment) file. *)
 let load path =
-  if not (Sys.file_exists path) then Ok []
+  if not (Sys.file_exists path) then
+    Error
+      (Printf.sprintf
+         "%s: baseline file not found (an intentionally empty baseline \
+          must exist as an empty file; check --baseline/--root)"
+         path)
   else
-    let ic = open_in_bin path in
-    let len = in_channel_length ic in
-    let text = really_input_string ic len in
-    close_in ic;
-    parse ~path text
+    match
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      text
+    with
+    | exception Sys_error m -> Error (path ^ ": unreadable baseline: " ^ m)
+    | text -> parse ~path text
 
 let render findings =
   let b = Buffer.create 1024 in

@@ -30,7 +30,10 @@ val parse : path:string -> string -> (entry list, string) result
     malformed line, an unknown rule code, or a missing justification. *)
 
 val load : string -> (entry list, string) result
-(** [parse] the given file.  A missing file is an empty baseline. *)
+(** [parse] the given file.  A missing or unreadable file is an
+    [Error] — the explicit way to declare an empty baseline is an empty
+    (or all-comment) file, so a typo'd path can never silently pass as
+    "no accepted findings". *)
 
 val render : Finding.t list -> string
 (** Render findings as a fresh baseline (line-pinned entries with

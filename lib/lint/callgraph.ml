@@ -1,0 +1,357 @@
+(* Module-qualified call graph over a set of parsed implementation
+   files.
+
+   Nodes are top-level value bindings (functions and values),
+   qualified by the capitalized file basename — [lib/milp/
+   branch_bound.ml]'s [run_task] is ["Branch_bound.run_task"]; bindings
+   inside a named submodule get the submodule in the path
+   (["Pool.Deque.pop"]).  Nested [let]s attribute to their enclosing
+   top-level binding: the graph is top-level-granular, which is the
+   resolution the effect fixpoint ({!Effects}) and the interprocedural
+   rules ({!Interproc}) need.
+
+   Resolution is syntactic and name-based, with the ambiguities that
+   implies (documented in docs/static-analysis.md):
+
+   - a reference [M.f] resolves through the module map built from file
+     basenames, after expanding [module A = M] aliases and dropping a
+     leading [Fp_*] library wrapper ([Fp_util.Pool.run] = [Pool.run] —
+     dune-wrapped library prefixes are invisible at the Parsetree
+     level, so the wrapper is recognized by its [Fp_] spelling);
+   - an unqualified [f] resolves to the current module's own [f] if it
+     has one, else through the file's [open]s, most recent first;
+   - a {e bare} reference to a known function (no application) is a
+     conservative call edge — higher-order flow like
+     [List.map helper xs] keeps [helper] reachable.  Bare references
+     to parameterless bindings (plain values) are {e not} edges: a
+     value's initializer ran at module init, not at reference time.
+
+   Unresolved names (the stdlib, opam libraries) carry no edges; their
+   effects are classified directly by {!Effects.prim_effect}. *)
+
+open Parsetree
+open Ast_util
+
+type arg_head =
+  | Head of string  (* rooted in a plain local/captured identifier *)
+  | Global          (* module-qualified lvalue: shared module state *)
+  | Opaque          (* computed — no root identifier *)
+
+type def = {
+  qname : string;
+  file : string;
+  line : int;
+  params : (Asttypes.arg_label * string option) list;
+  body : expression;
+}
+
+type call = {
+  callee : string;
+  line : int;
+  args : (Asttypes.arg_label * arg_head) list;
+      (* [] for bare (non-application) references *)
+}
+
+type env = {
+  cur : string;                        (* current file's module name *)
+  opens : string list list;           (* reverse order of appearance *)
+  aliases : (string * string list) list;
+}
+
+type t = {
+  defs : (string, def) Hashtbl.t;
+  order : string list;                 (* (file, line)-sorted qnames *)
+  calls : (string, call list) Hashtbl.t;
+  by_file : (string, string list) Hashtbl.t;
+  envs : (string, env) Hashtbl.t;      (* file -> resolution env *)
+  known : (string, string) Hashtbl.t;  (* module name -> file *)
+}
+
+let module_of_path path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let rec binding_name p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (p, _) -> binding_name p
+  | _ -> None
+
+let rec params_of e =
+  match e.pexp_desc with
+  | Pexp_fun (lbl, _, pat, body) ->
+    let name =
+      match pat.ppat_desc with
+      | Ppat_var { txt; _ } -> Some txt
+      | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) ->
+        Some txt
+      | _ -> None
+    in
+    (lbl, name) :: params_of body
+  | Pexp_newtype (_, body) -> params_of body
+  | _ -> []
+
+let rec arg_head_of e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident s; _ } -> Head s
+  | Pexp_ident _ -> Global
+  | Pexp_field (e, _) | Pexp_constraint (e, _) -> arg_head_of e
+  | _ -> Opaque
+
+(* ------------------------------------------------------------------ *)
+(* Definition and open/alias collection                                 *)
+(* ------------------------------------------------------------------ *)
+
+let collect_file (path, str) =
+  let modname = module_of_path path in
+  let defs = ref [] and opens = ref [] and aliases = ref [] in
+  let rec items prefix =
+    List.iter (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              match binding_name vb.pvb_pat with
+              | Some n ->
+                defs :=
+                  {
+                    qname = prefix ^ "." ^ n;
+                    file = path;
+                    line = line_of vb.pvb_loc;
+                    params = params_of vb.pvb_expr;
+                    body = vb.pvb_expr;
+                  }
+                  :: !defs
+              | None -> ())
+            vbs
+        | Pstr_module
+            {
+              pmb_name = { txt = Some m; _ };
+              pmb_expr = { pmod_desc = Pmod_structure sub; _ };
+              _;
+            } ->
+          items (prefix ^ "." ^ m) sub
+        | Pstr_module
+            {
+              pmb_name = { txt = Some m; _ };
+              pmb_expr = { pmod_desc = Pmod_ident { txt; _ }; _ };
+              _;
+            } ->
+          aliases := (m, norm (flatten txt)) :: !aliases
+        | Pstr_open { popen_expr = { pmod_desc = Pmod_ident { txt; _ }; _ }; _ }
+          ->
+          opens := norm (flatten txt) :: !opens
+        | _ -> ())
+  in
+  items modname str;
+  ( List.rev !defs,
+    { cur = modname; opens = !opens; aliases = !aliases } )
+
+(* ------------------------------------------------------------------ *)
+(* Resolution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let is_wrapper m =
+  String.length m > 3 && String.sub m 0 3 = "Fp_"
+
+(* Strip a leading library wrapper when what follows is a module we
+   know: [Fp_util.Pool.run] -> [Pool.run]. *)
+let strip_wrapper known p =
+  match p with
+  | a :: (b :: _ as rest) when is_wrapper a && Hashtbl.mem known b -> rest
+  | p -> p
+
+let resolve_with ~defs ~known env p =
+  let p = match p with
+    | a :: rest -> (
+      match List.assoc_opt a env.aliases with
+      | Some tgt -> tgt @ rest
+      | None -> p)
+    | [] -> p
+  in
+  let p = strip_wrapper known p in
+  let try_q q = if Hashtbl.mem defs q then Some q else None in
+  let join = String.concat "." in
+  match p with
+  | [] -> None
+  | [ x ] ->
+    let local = try_q (env.cur ^ "." ^ x) in
+    if local <> None then local
+    else
+      List.fold_left
+        (fun acc o ->
+          if acc <> None then acc
+          else
+            match strip_wrapper known o with
+            | [ m ] when Hashtbl.mem known m -> try_q (m ^ "." ^ x)
+            | [ _; m ] when Hashtbl.mem known m -> try_q (m ^ "." ^ x)
+            | _ -> None)
+        None env.opens
+  | _ -> (
+    match try_q (env.cur ^ "." ^ join p) with
+    | Some _ as r -> r
+    | None -> try_q (join p))
+
+(* ------------------------------------------------------------------ *)
+(* Edge collection                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let calls_of ~defs ~known env body =
+  let out = ref [] in
+  let add callee line args = out := { callee; line; args } :: !out in
+  let resolve = resolve_with ~defs ~known env in
+  let is_function q =
+    match Hashtbl.find_opt defs q with
+    | Some d -> d.params <> []
+    | None -> false
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match e.pexp_desc with
+          | Pexp_apply (f, args) -> (
+            match ident_path f with
+            | Some p -> (
+              match resolve p with
+              | Some q ->
+                add q (line_of e.pexp_loc)
+                  (List.map (fun (l, a) -> (l, arg_head_of a)) args)
+              | None -> ())
+            | None -> ())
+          | Pexp_ident { txt; _ } -> (
+            (* Bare reference: a conservative higher-order edge, but
+               only to functions — a value's initializer effects do not
+               re-run at reference time. *)
+            match resolve (norm (flatten txt)) with
+            | Some q when is_function q -> add q (line_of e.pexp_loc) []
+            | _ -> ())
+          | _ -> ());
+          (* An application's head identifier was handled above; the
+             default iterator still visits it, which would add a second
+             bare edge — harmless for reachability, so keep the simple
+             recursion. *)
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  it.expr it body;
+  List.rev !out
+
+(* A bare edge duplicated under an application edge to the same callee
+   at the same line is noise; collapse, keeping application edges (they
+   carry argument heads). *)
+let dedupe_calls calls =
+  let applied =
+    List.filter (fun c -> c.args <> []) calls
+  in
+  let bare =
+    List.filter
+      (fun c ->
+        c.args = []
+        && not
+             (List.exists
+                (fun a -> a.callee = c.callee && a.line = c.line)
+                applied))
+      calls
+  in
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun c ->
+      let k = (c.callee, c.line, c.args = []) in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    (applied @ bare)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let of_sources sources =
+  let sources =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) sources
+  in
+  let defs : (string, def) Hashtbl.t = Hashtbl.create 256 in
+  let known : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let envs : (string, env) Hashtbl.t = Hashtbl.create 64 in
+  let by_file : (string, string list) Hashtbl.t = Hashtbl.create 64 in
+  let per_file =
+    List.map
+      (fun (path, str) ->
+        let file_defs, env = collect_file (path, str) in
+        if not (Hashtbl.mem known env.cur) then
+          Hashtbl.add known env.cur path;
+        Hashtbl.replace envs path env;
+        (path, file_defs, env))
+      sources
+  in
+  let order = ref [] in
+  List.iter
+    (fun (path, file_defs, _) ->
+      let names =
+        List.map
+          (fun d ->
+            (* First binding of a name wins, mirroring shadowing being
+               rare at top level; later duplicates are dropped. *)
+            if not (Hashtbl.mem defs d.qname) then begin
+              Hashtbl.add defs d.qname d;
+              order := d.qname :: !order
+            end;
+            d.qname)
+          file_defs
+      in
+      Hashtbl.replace by_file path (List.sort_uniq String.compare names))
+    per_file;
+  let order = List.rev !order in
+  let calls : (string, call list) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (_, file_defs, env) ->
+      List.iter
+        (fun d ->
+          if Hashtbl.find_opt defs d.qname = Some d then
+            Hashtbl.replace calls d.qname
+              (dedupe_calls (calls_of ~defs ~known env d.body)))
+        file_defs)
+    per_file;
+  { defs; order; calls; by_file; envs; known }
+
+let find t q = Hashtbl.find_opt t.defs q
+
+let defs_order t = t.order
+
+let calls t q = Option.value ~default:[] (Hashtbl.find_opt t.calls q)
+
+let defs_in_file t file =
+  match Hashtbl.find_opt t.by_file file with
+  | None -> []
+  | Some names ->
+    let ds = List.filter_map (find t) names in
+    List.sort (fun (a : def) (b : def) -> Int.compare a.line b.line) ds
+
+let resolve t ~file p =
+  match Hashtbl.find_opt t.envs file with
+  | None -> None
+  | Some env -> resolve_with ~defs:t.defs ~known:t.known env p
+
+let to_dot t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "digraph callgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  List.iter
+    (fun q ->
+      Buffer.add_string b (Printf.sprintf "  %S;\n" q))
+    t.order;
+  List.iter
+    (fun q ->
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun c ->
+          if not (Hashtbl.mem seen c.callee) then begin
+            Hashtbl.add seen c.callee ();
+            Buffer.add_string b (Printf.sprintf "  %S -> %S;\n" q c.callee)
+          end)
+        (calls t q))
+    t.order;
+  Buffer.add_string b "}\n";
+  Buffer.contents b

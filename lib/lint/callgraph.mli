@@ -1,0 +1,67 @@
+(** Module-qualified call graph over a set of parsed [.ml] files.
+
+    Nodes are top-level value bindings, qualified by the capitalized
+    file basename (["Branch_bound.run_task"]); bindings in named
+    submodules keep the submodule in the path (["Pool.Deque.pop"]).
+    Nested [let]s attribute to the enclosing top-level binding.
+    Resolution is name-based and handles [open], [module A = M]
+    aliases, and [Fp_*] dune-wrapper prefixes; unresolved names (the
+    stdlib, opam libraries) carry no edges and are classified directly
+    by {!Effects.prim_effect}.  See docs/static-analysis.md for the
+    precision envelope. *)
+
+type arg_head =
+  | Head of string  (** rooted in a plain identifier *)
+  | Global          (** module-qualified lvalue: shared module state *)
+  | Opaque          (** computed — no root identifier *)
+
+type def = {
+  qname : string;
+  file : string;
+  line : int;
+  params : (Asttypes.arg_label * string option) list;
+      (** leading [fun] chain, in order; [None] = non-variable pattern *)
+  body : Parsetree.expression;
+}
+
+type call = {
+  callee : string;  (** resolved qname *)
+  line : int;
+  args : (Asttypes.arg_label * arg_head) list;
+      (** [[]] for bare (non-application) references *)
+}
+
+type t
+
+val module_of_path : string -> string
+(** ["lib/milp/branch_bound.ml"] -> ["Branch_bound"]. *)
+
+val params_of :
+  Parsetree.expression -> (Asttypes.arg_label * string option) list
+(** The leading [fun] chain of an expression — what {!Interproc} uses
+    to treat a local helper as a definition-shaped value. *)
+
+val of_sources : (string * Parsetree.structure) list -> t
+(** Build the graph.  Paths are repo-relative; duplicate top-level
+    names keep their first binding (top-level shadowing is rare). *)
+
+val find : t -> string -> def option
+
+val defs_order : t -> string list
+(** Every definition's qname, in deterministic (file, source) order. *)
+
+val calls : t -> string -> call list
+(** Resolved outgoing edges of a definition, deduplicated per
+    (callee, line). *)
+
+val defs_in_file : t -> string -> def list
+(** Definitions of one file, in source order. *)
+
+val resolve : t -> file:string -> string list -> string option
+(** Resolve an identifier path in the context of [file]'s opens and
+    aliases — what {!Interproc} uses for calls inside pool closures. *)
+
+val arg_head_of : Parsetree.expression -> arg_head
+
+val to_dot : t -> string
+(** Graphviz rendering, one node per definition ([--callgraph-dot]). *)

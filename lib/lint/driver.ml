@@ -18,14 +18,6 @@ let parse_file path =
     | str -> Ok str
     | exception e -> Error (Printexc.to_string e))
 
-let lint_file ?(ctx = default_context) ?role ~root rel =
-  let role = match role with Some r -> r | None -> Rules.role_of_path rel in
-  let abs = Filename.concat root rel in
-  match parse_file abs with
-  | Error msg ->
-    [ Finding.v ~file:rel ~line:1 Finding.SA000 ("unparseable: " ^ msg) ]
-  | Ok str -> Rules.check_structure ~ctx ~path:rel ~role str
-
 let roots = [ "lib"; "bin"; "bench"; "examples" ]
 
 (* Every .ml under [root]/[sub], as root-relative '/'-paths, sorted for
@@ -46,24 +38,66 @@ let ml_files root =
     roots;
   List.sort String.compare !found
 
+(* Parse everything once; the same parses feed the syntactic rules, the
+   call graph and the effect fixpoint. *)
+let parse_tree ~root =
+  let files = ml_files root in
+  List.map (fun rel -> (rel, parse_file (Filename.concat root rel))) files
+
+let graph_of_parses parses =
+  let sources =
+    List.filter_map
+      (fun (rel, p) -> match p with Ok str -> Some (rel, str) | Error _ -> None)
+      parses
+  in
+  let cg = Callgraph.of_sources sources in
+  (cg, Effects.infer cg)
+
+let check_one ~ctx ~cg ~summaries rel str =
+  let role = Rules.role_of_path rel in
+  let syntactic = Rules.check_structure ~ctx ~path:rel ~role str in
+  let interproc =
+    List.filter
+      (fun (f : Finding.t) -> Rules.applies f.rule ~role ~path:rel)
+      (Interproc.check ~cg ~summaries ~file:rel)
+  in
+  syntactic @ interproc
+
+let lint_file ?(ctx = default_context) ?role ~root rel =
+  let role = match role with Some r -> r | None -> Rules.role_of_path rel in
+  let abs = Filename.concat root rel in
+  match parse_file abs with
+  | Error msg ->
+    [ Finding.v ~file:rel ~line:1 Finding.SA000 ("unparseable: " ^ msg) ]
+  | Ok str ->
+    let cg = Callgraph.of_sources [ (rel, str) ] in
+    let summaries = Effects.infer cg in
+    let syntactic = Rules.check_structure ~ctx ~path:rel ~role str in
+    let interproc =
+      List.filter
+        (fun (f : Finding.t) -> Rules.applies f.rule ~role ~path:rel)
+        (Interproc.check ~cg ~summaries ~file:rel)
+    in
+    Finding.dedupe (syntactic @ interproc)
+
 let docs_robustness = "docs/robustness.md"
 
 let lint_tree ?(ctx = default_context) ~root () =
-  let files = ml_files root in
+  let parses = parse_tree ~root in
+  let cg, summaries = graph_of_parses parses in
   let registered = ref [] in
   let findings =
     List.concat_map
-      (fun rel ->
-        match parse_file (Filename.concat root rel) with
+      (fun (rel, p) ->
+        match p with
         | Error msg ->
           [ Finding.v ~file:rel ~line:1 Finding.SA000 ("unparseable: " ^ msg) ]
         | Ok str ->
           List.iter
             (fun (site, line) -> registered := (site, rel, line) :: !registered)
             (Rules.registered_sites str);
-          Rules.check_structure ~ctx ~path:rel ~role:(Rules.role_of_path rel)
-            str)
-      files
+          check_one ~ctx ~cg ~summaries rel str)
+      parses
   in
   (* Global SA007: the catalogue, the registrations and the docs must
      agree.  Per-file SA007 already flagged literals outside the
@@ -114,4 +148,12 @@ let lint_tree ?(ctx = default_context) ~root () =
                     site)))
         ctx.Rules.known_sites
   in
-  List.sort_uniq Finding.compare (findings @ f_unreg @ f_docs)
+  Finding.dedupe (findings @ f_unreg @ f_docs)
+
+let effects_report ~root () =
+  let cg, summaries = graph_of_parses (parse_tree ~root) in
+  Effects.report cg summaries
+
+let callgraph_dot ~root () =
+  let cg, _ = graph_of_parses (parse_tree ~root) in
+  Callgraph.to_dot cg

@@ -1,5 +1,7 @@
-(** Repository walker: parse every implementation file, run {!Rules},
-    add the global SA007 cross-checks.
+(** Repository walker: parse every implementation file once, run the
+    syntactic rules ({!Rules}), build the call graph and effect
+    summaries over the same parses, run the interprocedural rules
+    ({!Interproc}), and add the global SA007 cross-checks.
 
     The driver is what [bin/fp_lint] and the [@lint] alias call; the
     corpus tests call {!lint_file} directly on fixture files with a
@@ -22,12 +24,23 @@ val lint_file :
 (** Lint a single file.  The second argument is the path relative to
     [root] (also the path findings carry).  [role] defaults to
     {!Rules.role_of_path}; an unparseable file yields one [SA000]
-    finding. *)
+    finding.  The interprocedural rules run over a single-file call
+    graph, so cross-file taint is invisible here — that is tree mode's
+    job — but same-file helper chains still resolve.  Findings come
+    back deduplicated and sorted ({!Finding.dedupe}). *)
 
 val lint_tree : ?ctx:Rules.context -> root:string -> unit -> Finding.t list
-(** Walk [lib/], [bin/], [bench/] and [examples/] under [root], lint
-    every [.ml] file, and run the global SA007 checks: every
+(** Walk [lib/], [bin/], [bench/] and [examples/] under [root], parse
+    each [.ml] once, lint every file (syntactic + interprocedural over
+    the whole-tree call graph), and run the global SA007 checks: every
     [Fault.register] literal must be in the canonical catalogue, every
     catalogue site must be registered somewhere in the tree, and
     [docs/robustness.md] must document every catalogue site.  Findings
-    come back sorted. *)
+    come back deduplicated and sorted ({!Finding.dedupe}). *)
+
+val effects_report : root:string -> unit -> string
+(** The [--effects] artifact: {!Effects.report} over the whole tree. *)
+
+val callgraph_dot : root:string -> unit -> string
+(** The [--callgraph-dot] artifact: {!Callgraph.to_dot} over the whole
+    tree. *)

@@ -8,8 +8,13 @@ type rule =
   | SA006
   | SA007
   | SA008
+  | SA010
+  | SA011
+  | SA012
 
-let all_rules = [ SA001; SA002; SA003; SA004; SA005; SA006; SA007; SA008 ]
+let all_rules =
+  [ SA001; SA002; SA003; SA004; SA005; SA006; SA007; SA008; SA010; SA011;
+    SA012 ]
 
 let rule_name = function
   | SA000 -> "SA000"
@@ -21,6 +26,9 @@ let rule_name = function
   | SA006 -> "SA006"
   | SA007 -> "SA007"
   | SA008 -> "SA008"
+  | SA010 -> "SA010"
+  | SA011 -> "SA011"
+  | SA012 -> "SA012"
 
 let rule_of_string s =
   match String.uppercase_ascii s with
@@ -33,6 +41,9 @@ let rule_of_string s =
   | "SA006" -> Some SA006
   | "SA007" -> Some SA007
   | "SA008" -> Some SA008
+  | "SA010" -> Some SA010
+  | "SA011" -> Some SA011
+  | "SA012" -> Some SA012
   | _ -> None
 
 let rule_doc = function
@@ -47,18 +58,28 @@ let rule_doc = function
     "wall-clock read (Unix.gettimeofday, Sys.time) outside the sanctioned \
      timing sites (Augment, CLI/bench layer)"
   | SA005 ->
-    "closure submitted to Pool.run/Pool.map touches captured mutable state \
-     without Atomic/Mutex, or routes the worker id into captured state \
-     (eager per-worker-copy convention, docs/parallel.md)"
+    "closure submitted to Pool.run/Pool.map directly mutates captured \
+     state without Atomic/Mutex (the disjoint-slot convention excepted)"
   | SA006 ->
     "catch-all exception handler can swallow Augment.Abort / Fault.Injected \
-     — match concrete exceptions or re-raise"
+     — match concrete exceptions, re-raise, or record for a later re-raise"
   | SA007 ->
     "fault-site literal absent from the canonical Fault.builtin catalogue \
      (or catalogue, registrations and docs/robustness.md drifted apart)"
   | SA008 ->
     "exit with an integer literal — exit codes come from the \
      Fp_core.Degradation mapping"
+  | SA010 ->
+    "deterministic-replay code (pool task bodies, Journal) transitively \
+     reaches ambient RNG / wall clock / console IO through its call graph"
+  | SA011 ->
+    "a swallowing catch-all sits on a call path below a pool task body — \
+     Abort/Injected raised inside the task can vanish in a helper"
+  | SA012 ->
+    "captured mutable state flows into a pool task through helpers (a \
+     callee mutates it), the worker id escapes into captured state that \
+     is not an eager per-worker copy, or the task transitively mutates \
+     module-level state"
 
 let rule_index = function
   | SA000 -> 0
@@ -70,6 +91,9 @@ let rule_index = function
   | SA006 -> 6
   | SA007 -> 7
   | SA008 -> 8
+  | SA010 -> 10
+  | SA011 -> 11
+  | SA012 -> 12
 
 type t = { file : string; line : int; rule : rule; msg : string }
 
@@ -87,3 +111,27 @@ let compare a b =
     else
       let c = Int.compare (rule_index a.rule) (rule_index b.rule) in
       if c <> 0 then c else String.compare a.msg b.msg
+
+(* One source defect, one finding: when several rules fire at the same
+   file:line (the interprocedural rules overlap the syntactic ones by
+   design — SA010 sees every clock read SA004 sees, one call deeper),
+   keep only the lowest-numbered rule at that location.  Findings of
+   the same rule at one line are all kept: the global SA007 checks
+   legitimately report several distinct drifts at a file's line 1.
+   Output stays sorted by (file, line, rule, msg) for stable diffs. *)
+let dedupe findings =
+  let sorted = List.sort_uniq compare findings in
+  let rec go = function
+    | [] -> []
+    | f :: _ as group ->
+      let same, rest =
+        List.partition (fun g -> g.file = f.file && g.line = f.line) group
+      in
+      let min_rule =
+        List.fold_left
+          (fun m g -> Int.min m (rule_index g.rule))
+          max_int same
+      in
+      List.filter (fun g -> rule_index g.rule = min_rule) same @ go rest
+  in
+  go sorted

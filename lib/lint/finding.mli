@@ -5,8 +5,11 @@
     SA ("source analysis") codes, mirroring the ML/FL/CT code scheme
     of {!Fp_check.Diagnostic} — the two layers are complementary:
     [Fp_check] certifies {e outputs} (models and floorplans), this
-    library certifies the {e source} that produces them.  The full
-    catalogue with examples lives in [docs/static-analysis.md]. *)
+    library certifies the {e source} that produces them.  SA001–SA008
+    are syntactic per-file rules ({!Rules}); SA010–SA012 are
+    interprocedural, grounded on the {!Callgraph} and the {!Effects}
+    fixpoint ({!Interproc}).  The full catalogue with examples lives in
+    [docs/static-analysis.md]. *)
 
 type rule =
   | SA000  (** the file could not be parsed — always fatal, never baselined *)
@@ -14,9 +17,8 @@ type rule =
   | SA002  (** [Stdlib.Random] outside [lib/util/rng.ml] *)
   | SA003  (** stdout/stderr write inside [lib/] *)
   | SA004  (** wall-clock read outside the sanctioned timing sites *)
-  | SA005  (** closure given to [Pool.run]/[Pool.map] touches captured
-               mutable state without [Atomic]/[Mutex], or indexes shared
-               state by the worker id (eager per-worker-copy convention) *)
+  | SA005  (** closure given to [Pool.run]/[Pool.map] directly mutates
+               captured mutable state without [Atomic]/[Mutex] *)
   | SA006  (** catch-all exception handler that can swallow
                [Augment.Abort] / [Fault.Injected] *)
   | SA007  (** fault-site literal not in the canonical
@@ -24,6 +26,12 @@ type rule =
                drift) *)
   | SA008  (** [exit] with an integer literal outside the
                {!Fp_core.Degradation} exit-code mapping *)
+  | SA010  (** deterministic-replay code (pool task bodies, [Journal])
+               transitively reaches ambient RNG / clock / IO *)
+  | SA011  (** a swallowing catch-all on a call path below a pool task *)
+  | SA012  (** captured mutable state escapes into a pool task through
+               helpers (worker-id escape, mutated-parameter flow, or
+               transitive module-state mutation) *)
 
 val all_rules : rule list
 (** Every rule, in code order ([SA000] excluded — it is an infrastructure
@@ -37,6 +45,9 @@ val rule_of_string : string -> rule option
 
 val rule_doc : rule -> string
 (** One-line description, used by [fp_lint --list-rules]. *)
+
+val rule_index : rule -> int
+(** Numeric code, for severity-independent ordering. *)
 
 type t = {
   file : string;  (** repo-relative path, ['/']-separated *)
@@ -52,3 +63,11 @@ val to_string : t -> string
 
 val compare : t -> t -> int
 (** Order by file, then line, then rule code, then message. *)
+
+val dedupe : t list -> t list
+(** One source defect, one finding: at each [file:line], keep only the
+    findings of the lowest-numbered rule (the interprocedural rules
+    deliberately overlap the syntactic ones; the syntactic finding
+    wins).  Several findings of that same rule at one line are all kept
+    — the global SA007 checks legitimately report distinct drifts at a
+    file's line 1.  Output is sorted by {!compare}. *)

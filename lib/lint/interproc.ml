@@ -1,0 +1,527 @@
+(* Interprocedural rules, grounded on {!Callgraph} + {!Effects}:
+
+   - SA010: deterministic-replay code (closures handed to
+     [Pool.run]/[Pool.map], and the [Journal] module) transitively
+     reaches ambient RNG / wall clock / console IO through its call
+     graph.  Only depth >= 1 is reported — a primitive called directly
+     in the replay code is SA002/SA003/SA004's finding at its own line;
+     this rule reports what the syntactic rules cannot see, anchored at
+     the call that starts the tainted path, with the witness chain in
+     the message.
+   - SA011: a swallowing catch-all ({!Ast_util.swallowing_catch_all})
+     sits anywhere on a call path below a pool task body.  The handler
+     itself is SA006's finding (in lib/); this rule flags the {e task}
+     whose Abort/Injected can vanish, which matters even where SA006 is
+     off (bench/bin pools).
+   - SA012: escape analysis for captured mutable state, superseding
+     SA005's purely syntactic worker-escape heuristics.  Three shapes:
+     a captured value flowing into a callee parameter the effect
+     summaries say is mutated (through any number of helpers); the
+     worker id escaping into captured state that is {e not} an eager
+     per-worker copy; and the task transitively mutating module-level
+     state.  The blessed eager-copy pattern — [Array.init (Pool.jobs
+     pool) ...] bound before the batch, read back at the worker index
+     (directly or through a one-line accessor) — is recognized and not
+     flagged, which is precision the old syntactic rule could not have.
+
+   Direct mutation of captured state inside the closure body itself
+   stays SA005 (same messages as before); SA012 owns everything that
+   needs the call graph.  Local helpers (let-bound functions in the
+   enclosing definition) are not call-graph nodes — they are analyzed
+   by inlining: the walk recurses into their bodies, and their directly
+   mutated parameters are classified at each call site. *)
+
+open Parsetree
+open Ast_util
+
+type scope = {
+  local_fns : (string * expression) list;
+      (* let-bound fun literals of the enclosing definition *)
+  eager : S.t;  (* names bound to [Array.init (Pool.jobs _) _] *)
+}
+
+let empty_scope = { local_fns = []; eager = S.empty }
+
+let rec pat_name p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (p, _) -> pat_name p
+  | _ -> None
+
+(* [Array.init (Pool.jobs pool) f]: the eager per-worker-copy shape
+   from docs/parallel.md — one slot per worker, filled before the
+   batch starts. *)
+let is_eager_init e =
+  match e.pexp_desc with
+  | Pexp_apply (f, (_, n) :: _) -> (
+    match ident_path f with
+    | Some [ "Array"; "init" ] -> (
+      match n.pexp_desc with
+      | Pexp_apply (g, _) -> (
+        match ident_path g with
+        | Some gp -> last2 gp = Some ("Pool", "jobs")
+        | None -> false)
+      | _ -> false)
+    | _ -> false)
+  | _ -> false
+
+(* A one-parameter accessor whose body is exactly an eager-array read
+   at the parameter — [let state_of worker = states.(worker)].  Calling
+   it on the worker id is the blessed addressing of per-worker copies. *)
+let safe_worker_fn scope ge =
+  match ge.pexp_desc with
+  | Pexp_fun (_, None, pat, body) -> (
+    match (pat_name pat, body.pexp_desc) with
+    | Some p, Pexp_apply (f, [ (_, arr); (_, idx) ]) -> (
+      match ident_path f with
+      | Some [ "Array"; ("get" | "unsafe_get") ] -> (
+        match (lvalue_head arr, ident_path idx) with
+        | Some a, Some [ i ] -> S.mem a scope.eager && i = p
+        | _ -> false)
+      | _ -> false)
+    | _ -> false)
+  | _ -> false
+
+let fake_def ~file name ge =
+  {
+    Callgraph.qname = "<local>." ^ name;
+    file;
+    line = line_of ge.pexp_loc;
+    params = Callgraph.params_of ge;
+    body = ge;
+  }
+
+let taints = [ Effects.Rng; Effects.Clock; Effects.Io ]
+
+(* The argument expression supplying parameter [j]: labelled by label,
+   unlabelled positionally among the unlabelled arguments. *)
+let arg_expr_for (params : (Asttypes.arg_label * string option) list) args j =
+  match List.nth_opt params j with
+  | None -> None
+  | Some (Asttypes.Nolabel, _) ->
+    let pos =
+      List.length
+        (List.filteri (fun i (l, _) -> i < j && l = Asttypes.Nolabel) params)
+    in
+    let unlabelled = List.filter (fun (l, _) -> l = Asttypes.Nolabel) args in
+    Option.map snd (List.nth_opt unlabelled pos)
+  | Some ((Asttypes.Labelled l | Asttypes.Optional l), _) ->
+    List.find_map
+      (fun (al, a) ->
+        match al with
+        | Asttypes.Labelled l' | Asttypes.Optional l' when l' = l -> Some a
+        | _ -> None)
+      args
+
+let describe a =
+  match lvalue_head a with
+  | Some s -> s
+  | None -> (
+    match ident_path a with
+    | Some p -> String.concat "." p
+    | None -> "state")
+
+(* ------------------------------------------------------------------ *)
+(* One pool task                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_task ~cg ~summaries ~file ~emit ~scope ~fname closure =
+  let escape_lines : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let taint_seen : (Effects.eff, unit) Hashtbl.t = Hashtbl.create 4 in
+  let catch_seen = ref false in
+  let mutglobal_seen = ref false in
+  let mutparam_seen : (int * string * int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let helper_mut_lines : (int * string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let visited : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let helper_direct =
+    let cache : (string, Effects.summary) Hashtbl.t = Hashtbl.create 4 in
+    fun g ge ->
+      match Hashtbl.find_opt cache g with
+      | Some s -> s
+      | None ->
+        let s = Effects.direct (fake_def ~file g ge) in
+        Hashtbl.add cache g s;
+        s
+  in
+  let chain_str q e = String.concat " -> " (Effects.chain summaries q e) in
+  let escape line what =
+    if not (Hashtbl.mem escape_lines line) then begin
+      Hashtbl.add escape_lines line ();
+      emit line Finding.SA012
+        (Printf.sprintf
+           "closure given to %s %s — per-worker shared state must be \
+            copied eagerly before the batch (docs/parallel.md); justify \
+            in the baseline"
+           fname what)
+    end
+  in
+  let mutation ctx line what =
+    match ctx with
+    | `Closure ->
+      emit line Finding.SA005
+        (Printf.sprintf
+           "closure given to %s %s without Atomic/Mutex — racy under \
+            parallel execution and invisible to deterministic replay"
+           fname what)
+    | `Helper g ->
+      if not (Hashtbl.mem helper_mut_lines (line, g)) then begin
+        Hashtbl.add helper_mut_lines (line, g) ();
+        emit line Finding.SA012
+          (Printf.sprintf
+             "local helper %s, reachable from a %s task, %s without \
+              Atomic/Mutex — racy under parallel execution"
+             g fname what)
+      end
+  in
+  let eager_array arr =
+    match lvalue_head arr with Some s -> S.mem s scope.eager | None -> false
+  in
+  (* An argument that carries the worker id (or shared state) but in a
+     blessed form: an eager-array read, or an application of a safe
+     per-worker accessor. *)
+  let worker_blessed a =
+    match a.pexp_desc with
+    | Pexp_apply (f, [ (_, arr); _ ]) when
+        (match ident_path f with
+         | Some [ "Array"; ("get" | "unsafe_get") ] -> true
+         | _ -> false) ->
+      eager_array arr
+    | Pexp_apply (f, _) -> (
+      match ident_path f with
+      | Some [ g ] -> (
+        match List.assoc_opt g scope.local_fns with
+        | Some ge -> safe_worker_fn scope ge
+        | None -> false)
+      | _ -> false)
+    | _ -> false
+  in
+  let local_head locals e =
+    match lvalue_head e with Some s -> S.mem s locals | None -> false
+  in
+  (* Captured (closure-external) argument heads are the dangerous ones;
+     task-locals, blessed per-worker handles, and computed values are
+     not (a locally-created value handed to a mutator is the normal
+     ownership pattern). *)
+  let captured_arg locals a =
+    if worker_blessed a then false
+    else
+      match a.pexp_desc with
+      | Pexp_ident { txt = Longident.Lident s; _ } -> not (S.mem s locals)
+      | Pexp_ident _ -> true
+      | Pexp_field _ | Pexp_constraint _ -> (
+        match lvalue_head a with
+        | Some s -> not (S.mem s locals)
+        | None -> true)
+      | _ -> false
+  in
+  let resolved_call locals line q args =
+    let sum = Effects.summary_of summaries q in
+    List.iter
+      (fun e ->
+        if Effects.has e sum && not (Hashtbl.mem taint_seen e) then begin
+          Hashtbl.add taint_seen e ();
+          emit line Finding.SA010
+            (Printf.sprintf
+               "task given to %s transitively reaches %s (%s) — ambient \
+                rng/clock/io breaks deterministic replay; hoist the \
+                effect out of the task or justify in the baseline"
+               fname (Effects.eff_name e) (chain_str q e))
+        end)
+      taints;
+    if Effects.has Effects.Catches_all sum && not !catch_seen then begin
+      catch_seen := true;
+      emit line Finding.SA011
+        (Printf.sprintf
+           "call path from this %s task reaches a swallowing catch-all \
+            (%s) — Abort/Injected raised inside the task can vanish in \
+            a helper; match concrete exceptions, re-raise, or record \
+            for a later re-raise"
+           fname
+           (chain_str q Effects.Catches_all))
+    end;
+    if Effects.has Effects.Mutation sum && not !mutglobal_seen then begin
+      mutglobal_seen := true;
+      emit line Finding.SA012
+        (Printf.sprintf
+           "task given to %s transitively mutates module-level state \
+            (%s) — racy under parallel execution without Atomic/Mutex"
+           fname
+           (chain_str q Effects.Mutation))
+    end;
+    if args <> [] && sum.Effects.mut_params <> [] then
+      match Callgraph.find cg q with
+      | None -> ()
+      | Some cd ->
+        List.iter
+          (fun j ->
+            match arg_expr_for cd.Callgraph.params args j with
+            | None -> ()
+            | Some a ->
+              if
+                captured_arg locals a
+                && not (Hashtbl.mem mutparam_seen (line, q, j))
+              then begin
+                Hashtbl.add mutparam_seen (line, q, j) ();
+                emit line Finding.SA012
+                  (Printf.sprintf
+                     "captured %s flows into %s, which mutates it (%s) \
+                      — copy eagerly per worker or synchronize"
+                     (describe a) q
+                     (String.concat " -> " (Effects.mut_chain summaries q j)))
+              end)
+          sum.Effects.mut_params
+  in
+  let helper_call locals line g ge args =
+    let hsum = helper_direct g ge in
+    let hparams = Callgraph.params_of ge in
+    List.iter
+      (fun j ->
+        match arg_expr_for hparams args j with
+        | None -> ()
+        | Some a ->
+          if
+            captured_arg locals a
+            && not (Hashtbl.mem mutparam_seen (line, g, j))
+          then begin
+            Hashtbl.add mutparam_seen (line, g, j) ();
+            emit line Finding.SA012
+              (Printf.sprintf
+                 "captured %s flows into local helper %s, which mutates \
+                  it — racy under parallel execution without Atomic/Mutex"
+                 (describe a) g)
+          end)
+      hsum.Effects.mut_params
+  in
+  let rec entry ctx locals worker e =
+    (* Walk through the leading fun chain, picking up the ~worker id. *)
+    match e.pexp_desc with
+    | Pexp_fun (lbl, dflt, pat, body) ->
+      Option.iter (walk ctx locals worker) dflt;
+      let locals = S.union locals (S.of_list (pat_vars [] pat)) in
+      let worker =
+        match (lbl, pat.ppat_desc) with
+        | ( (Asttypes.Labelled "worker" | Asttypes.Optional "worker"),
+            Ppat_var { txt; _ } ) ->
+          Some txt
+        | _ -> worker
+      in
+      entry ctx locals worker body
+    | Pexp_newtype (_, body) -> entry ctx locals worker body
+    | _ -> walk ctx locals worker e
+  and helper_walk g ge =
+    if not (Hashtbl.mem visited g) then begin
+      Hashtbl.add visited g ();
+      entry (`Helper g) S.empty None ge
+    end
+  and case ctx locals worker c =
+    let locals = S.union locals (S.of_list (pat_vars [] c.pc_lhs)) in
+    Option.iter (walk ctx locals worker) c.pc_guard;
+    walk ctx locals worker c.pc_rhs
+  and walk ctx locals worker e =
+    match e.pexp_desc with
+    | Pexp_let (rf, vbs, body) ->
+      let bound = List.concat_map (fun vb -> pat_vars [] vb.pvb_pat) vbs in
+      let locals' = S.union locals (S.of_list bound) in
+      let rhs_env = if rf = Asttypes.Recursive then locals' else locals in
+      List.iter (fun vb -> walk ctx rhs_env worker vb.pvb_expr) vbs;
+      walk ctx locals' worker body
+    | Pexp_fun (_, dflt, pat, body) ->
+      Option.iter (walk ctx locals worker) dflt;
+      walk ctx (S.union locals (S.of_list (pat_vars [] pat))) worker body
+    | Pexp_newtype (_, body) -> walk ctx locals worker body
+    | Pexp_function cases -> List.iter (case ctx locals worker) cases
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+      walk ctx locals worker scrut;
+      List.iter (case ctx locals worker) cases
+    | Pexp_for (pat, lo, hi, _, body) ->
+      walk ctx locals worker lo;
+      walk ctx locals worker hi;
+      walk ctx (S.union locals (S.of_list (pat_vars [] pat))) worker body
+    | Pexp_setfield (tgt, _, v) ->
+      if not (local_head locals tgt) then
+        mutation ctx (line_of e.pexp_loc) "mutates a captured record field";
+      walk ctx locals worker tgt;
+      walk ctx locals worker v
+    | Pexp_ident { txt; _ } -> (
+      (* Bare reference: keeps higher-order flow reachable.  The same
+         guard as the call graph — parameterless values carry no
+         edge. *)
+      let p = norm (flatten txt) in
+      match p with
+      | [ g ]
+        when (not (S.mem g locals))
+             && List.assoc_opt g scope.local_fns <> None ->
+        let ge = List.assoc g scope.local_fns in
+        if not (safe_worker_fn scope ge) then helper_walk g ge
+      | _ -> (
+        match Callgraph.resolve cg ~file p with
+        | Some q -> (
+          match Callgraph.find cg q with
+          | Some d when d.Callgraph.params <> [] ->
+            resolved_call locals (line_of e.pexp_loc) q []
+          | _ -> ())
+        | None -> ()))
+    | Pexp_apply (f, args) ->
+      (match ident_path f with
+      | Some p -> (
+        let line = line_of e.pexp_loc in
+        match (p, args) with
+        | ([ ":=" ] | [ "incr" ] | [ "decr" ]), (_, r) :: _ ->
+          if not (local_head locals r) then
+            mutation ctx line "mutates a captured ref cell"
+        | [ "Array"; ("set" | "unsafe_set") ], (_, arr) :: (_, idx) :: _ ->
+          if (not (local_head locals arr)) && not (mentions_any locals idx)
+          then
+            mutation ctx line
+              "writes a captured array at a non-task-local index (the \
+               disjoint-slot convention needs the index derived from the \
+               task argument)"
+        | [ "Array"; ("get" | "unsafe_get") ], (_, arr) :: (_, idx) :: _ -> (
+          match worker with
+          | Some w
+            when (not (local_head locals arr))
+                 && mentions_name w idx
+                 && not (eager_array arr) ->
+            escape line "reads a captured array at the worker index"
+          | _ -> ())
+        | _, (_, c0) :: _ when container_mutator p ->
+          if not (local_head locals c0) then
+            mutation ctx line
+              (Printf.sprintf "mutates a captured %s" (List.hd p))
+        | _, _ when synchronized p -> ()
+        | [ g ], _
+          when (not (S.mem g locals))
+               && List.assoc_opt g scope.local_fns <> None -> (
+          let ge = List.assoc g scope.local_fns in
+          if not (safe_worker_fn scope ge) then begin
+            helper_call locals line g ge args;
+            (match worker with
+            | Some w
+              when List.exists
+                     (fun (_, a) ->
+                       mentions_name w a && not (worker_blessed a))
+                     args ->
+              escape line
+                (Printf.sprintf
+                   "passes the worker id into local helper %s (only the \
+                    eager per-worker-copy accessor is exempt)"
+                   g)
+            | _ -> ());
+            helper_walk g ge
+          end)
+        | _, _ -> (
+          (match Callgraph.resolve cg ~file p with
+          | Some q -> resolved_call locals line q args
+          | None -> ());
+          match worker with
+          | Some w ->
+            let captured =
+              match p with
+              | [ s ] -> not (S.mem s locals)
+              | _ :: _ :: _ -> true
+              | _ -> false
+            in
+            if
+              captured
+              && List.exists
+                   (fun (_, a) -> mentions_name w a && not (worker_blessed a))
+                   args
+            then
+              escape line
+                (Printf.sprintf "passes the worker id into captured %s"
+                   (String.concat "." p))
+          | None -> ()))
+      | None -> ());
+      walk ctx locals worker f;
+      List.iter (fun (_, a) -> walk ctx locals worker a) args
+    | _ -> List.iter (walk ctx locals worker) (sub_exprs e)
+  in
+  entry `Closure S.empty None closure
+
+(* ------------------------------------------------------------------ *)
+(* The per-file pass                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Journal code is a deterministic-replay root with taint {rng, clock}:
+   the journal's whole job is IO, but a digest or replay path that
+   reaches ambient randomness or the wall clock cannot reproduce. *)
+let journal_taints = [ Effects.Rng; Effects.Clock ]
+
+let check ~cg ~summaries ~file =
+  let out = ref [] in
+  let emit line rule msg =
+    out := Finding.v ~file ~line rule msg :: !out
+  in
+  let defs = Callgraph.defs_in_file cg file in
+  List.iter
+    (fun (d : Callgraph.def) ->
+      let rec scan scope e =
+        match e.pexp_desc with
+        | Pexp_let (rf, vbs, body) ->
+          let scope' =
+            List.fold_left
+              (fun sc vb ->
+                match pat_name vb.pvb_pat with
+                | Some n when is_fun_literal vb.pvb_expr ->
+                  { sc with local_fns = (n, vb.pvb_expr) :: sc.local_fns }
+                | Some n when is_eager_init vb.pvb_expr ->
+                  { sc with eager = S.add n sc.eager }
+                | _ -> sc)
+              scope vbs
+          in
+          let rhs_scope = if rf = Asttypes.Recursive then scope' else scope in
+          List.iter (fun vb -> scan rhs_scope vb.pvb_expr) vbs;
+          scan scope' body
+        | Pexp_apply (f, args) -> (
+          (match ident_path f with
+          | Some p -> (
+            match pool_fn p with
+            | Some fname ->
+              List.iter
+                (fun (_, a) ->
+                  let task =
+                    if is_fun_literal a then Some a
+                    else
+                      match a.pexp_desc with
+                      | Pexp_ident { txt = Longident.Lident g; _ } ->
+                        List.assoc_opt g scope.local_fns
+                      | _ -> None
+                  in
+                  match task with
+                  | Some closure ->
+                    analyze_task ~cg ~summaries ~file ~emit ~scope ~fname
+                      closure
+                  | None -> ())
+                args
+            | None -> ())
+          | None -> ());
+          scan scope f;
+          List.iter (fun (_, a) -> scan scope a) args)
+        | _ -> List.iter (scan scope) (sub_exprs e)
+      in
+      scan empty_scope d.body)
+    defs;
+  if Filename.basename file = "journal.ml" then
+    List.iter
+      (fun (d : Callgraph.def) ->
+        let seen : (Effects.eff, unit) Hashtbl.t = Hashtbl.create 4 in
+        List.iter
+          (fun (c : Callgraph.call) ->
+            let sum = Effects.summary_of summaries c.Callgraph.callee in
+            List.iter
+              (fun e ->
+                if Effects.has e sum && not (Hashtbl.mem seen e) then begin
+                  Hashtbl.add seen e ();
+                  emit c.Callgraph.line Finding.SA010
+                    (Printf.sprintf
+                       "journal code transitively reaches %s (%s) — \
+                        replay digests and journal playback must be \
+                        deterministic"
+                       (Effects.eff_name e)
+                       (String.concat " -> "
+                          (Effects.chain summaries c.Callgraph.callee e)))
+                end)
+              journal_taints)
+          (Callgraph.calls cg d.Callgraph.qname))
+      defs;
+  List.sort_uniq Finding.compare !out

@@ -1,5 +1,5 @@
 open Parsetree
-module S = Set.Make (String)
+open Ast_util
 
 type role = Lib | Bin | Bench | Examples | Other
 
@@ -29,83 +29,12 @@ let applies rule ~role ~path =
   | SA006 -> role = Lib
   | SA007 -> true
   | SA008 -> path <> "lib/core/degradation.ml"
-
-(* ------------------------------------------------------------------ *)
-(* Longident / AST helpers                                             *)
-(* ------------------------------------------------------------------ *)
-
-let rec flatten = function
-  | Longident.Lident s -> [ s ]
-  | Longident.Ldot (l, s) -> flatten l @ [ s ]
-  | Longident.Lapply _ -> []
-
-(* Qualified names match modulo an explicit [Stdlib.] prefix. *)
-let norm = function "Stdlib" :: rest -> rest | p -> p
-
-let ident_path e =
-  match e.pexp_desc with
-  | Pexp_ident { txt; _ } -> Some (norm (flatten txt))
-  | _ -> None
-
-let last2 p =
-  match List.rev p with b :: a :: _ -> Some (a, b) | _ -> None
-
-let line_of loc = loc.Location.loc_start.Lexing.pos_lnum
-
-let rec pat_vars acc p =
-  match p.ppat_desc with
-  | Ppat_var { txt; _ } -> txt :: acc
-  | Ppat_alias (p, { txt; _ }) -> pat_vars (txt :: acc) p
-  | Ppat_tuple ps | Ppat_array ps -> List.fold_left pat_vars acc ps
-  | Ppat_construct (_, Some (_, p)) -> pat_vars acc p
-  | Ppat_variant (_, Some p) -> pat_vars acc p
-  | Ppat_record (fs, _) ->
-    List.fold_left (fun acc (_, p) -> pat_vars acc p) acc fs
-  | Ppat_or (a, b) -> pat_vars (pat_vars acc a) b
-  | Ppat_constraint (p, _) | Ppat_lazy p | Ppat_open (_, p)
-  | Ppat_exception p ->
-    pat_vars acc p
-  | _ -> acc
-
-(* Direct sub-expressions of [e], via a non-recursing iterator hook. *)
-let sub_exprs e =
-  let acc = ref [] in
-  let it =
-    { Ast_iterator.default_iterator with expr = (fun _ ex -> acc := ex :: !acc) }
-  in
-  Ast_iterator.default_iterator.expr it e;
-  List.rev !acc
-
-(* Does [e] contain a free occurrence of the plain identifier [name]?
-   (Syntactic: rebinding inside [e] is not tracked — fine for the short
-   index expressions this is used on.) *)
-let mentions_name name e =
-  let found = ref false in
-  let it =
-    {
-      Ast_iterator.default_iterator with
-      expr =
-        (fun self ex ->
-          (match ex.pexp_desc with
-          | Pexp_ident { txt = Longident.Lident s; _ } when s = name ->
-            found := true
-          | _ -> ());
-          Ast_iterator.default_iterator.expr self ex);
-    }
-  in
-  it.expr it e;
-  !found
-
-let mentions_any names e = S.exists (fun n -> mentions_name n e) names
-
-(* The innermost identifier an lvalue expression roots in: [x], [x.f.g],
-   [(x : t)].  [None] for module-qualified or computed targets — those
-   are necessarily captured. *)
-let rec lvalue_head e =
-  match e.pexp_desc with
-  | Pexp_ident { txt = Longident.Lident s; _ } -> Some s
-  | Pexp_field (e, _) | Pexp_constraint (e, _) -> lvalue_head e
-  | _ -> None
+  (* Deterministic replay is a library concern; the CLI/bench layers
+     read clocks and print by design.  Exception flow below pool tasks
+     and captured-state escapes are wrong in every role. *)
+  | SA010 -> role = Lib
+  | SA011 -> true
+  | SA012 -> true
 
 (* ------------------------------------------------------------------ *)
 (* SA001: raw float comparisons                                        *)
@@ -175,215 +104,14 @@ let sa004_ident = function
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
-(* SA006: catch-all handlers                                            *)
+(* SA005: direct mutation inside Pool closures                          *)
 (* ------------------------------------------------------------------ *)
 
-let rec pat_mentions_construct names p =
-  match p.ppat_desc with
-  | Ppat_construct ({ txt; _ }, arg) ->
-    (match List.rev (flatten txt) with
-    | last :: _ when List.mem last names -> true
-    | _ -> false)
-    || (match arg with
-       | Some (_, p) -> pat_mentions_construct names p
-       | None -> false)
-  | Ppat_or (a, b) ->
-    pat_mentions_construct names a || pat_mentions_construct names b
-  | Ppat_alias (p, _) | Ppat_constraint (p, _) | Ppat_exception p
-  | Ppat_lazy p | Ppat_open (_, p) ->
-    pat_mentions_construct names p
-  | _ -> false
-
-let body_raises e =
-  let found = ref false in
-  let it =
-    {
-      Ast_iterator.default_iterator with
-      expr =
-        (fun self ex ->
-          (match ex.pexp_desc with
-          | Pexp_apply (f, _) -> (
-            match ident_path f with
-            | Some p -> (
-              match List.rev p with
-              | ("raise" | "raise_notrace" | "reraise") :: _ -> found := true
-              | _ -> ())
-            | None -> ())
-          | _ -> ());
-          Ast_iterator.default_iterator.expr self ex);
-    }
-  in
-  it.expr it e;
-  !found
-
-let is_catch_all c =
-  c.pc_guard = None
-  &&
-  match c.pc_lhs.ppat_desc with
-  | Ppat_any | Ppat_var _ -> true
-  | Ppat_alias ({ ppat_desc = Ppat_any; _ }, _) -> true
-  | _ -> false
-
-(* ------------------------------------------------------------------ *)
-(* SA005: domain-safety of Pool closures                                *)
-(* ------------------------------------------------------------------ *)
-
-let pool_fn p =
-  match last2 p with
-  | Some ("Pool", (("run" | "map") as m)) -> Some ("Pool." ^ m)
-  | _ -> None
-
-let is_fun_literal e =
-  match e.pexp_desc with
-  | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ -> true
-  | _ -> false
-
-let container_mutator = function
-  | [ "Bytes"; ("set" | "unsafe_set" | "blit" | "blit_string" | "fill") ]
-  | [ "Hashtbl"; ("add" | "replace" | "remove" | "reset" | "clear"
-                 | "filter_map_inplace" ) ]
-  | [ "Queue"; ("push" | "add" | "pop" | "take" | "clear" | "transfer") ]
-  | [ "Stack"; ("push" | "pop" | "clear") ] ->
-    true
-  | "Buffer" :: (op :: _) when String.length op >= 4
-                              && String.sub op 0 4 = "add_" ->
-    true
-  | [ "Buffer"; ("clear" | "reset" | "truncate") ] -> true
-  | _ -> false
-
-let synchronized = function
-  | ("Atomic" | "Mutex" | "Condition" | "Semaphore" | "Domain") :: _ -> true
-  | _ -> false
-
-(* Walk a closure literal handed to [Pool.run]/[Pool.map], tracking the
-   set of names bound inside the closure.  Two families of findings:
-
-   - mutation of captured (closure-external) mutable state without
-     [Atomic]/[Mutex] — the data race the deterministic replay cannot
-     survive.  The one blessed shape is the disjoint-slot convention
-     from the [Pool] doc: writing a captured array at an index derived
-     from a task-local binding;
-
-   - routing the [~worker] id into captured state (worker-indexed array
-     reads, or captured functions applied to [worker]) — the eager
-     per-worker-copy pattern.  Correct uses exist (that is how the
-     per-worker LP copies are addressed) but each must carry a baseline
-     justification, because taking the copy lazily inside the task is
-     exactly the race PR 3 fixed. *)
-let analyze_closure ~emit ~fname closure =
-  let escape_lines : (int, unit) Hashtbl.t = Hashtbl.create 4 in
-  let escape loc what =
-    let l = line_of loc in
-    if not (Hashtbl.mem escape_lines l) then begin
-      Hashtbl.add escape_lines l ();
-      emit loc
-        (Printf.sprintf
-           "closure given to %s %s — per-worker shared state must be \
-            copied eagerly before the batch (docs/parallel.md); justify \
-            in the baseline"
-           fname what)
-    end
-  in
-  let mutation loc what =
-    emit loc
-      (Printf.sprintf
-         "closure given to %s %s without Atomic/Mutex — racy under \
-          parallel execution and invisible to deterministic replay"
-         fname what)
-  in
-  let local_head locals e =
-    match lvalue_head e with Some s -> S.mem s locals | None -> false
-  in
-  let rec params locals worker e =
-    match e.pexp_desc with
-    | Pexp_fun (lbl, dflt, pat, body) ->
-      Option.iter (walk locals worker) dflt;
-      let locals = S.union locals (S.of_list (pat_vars [] pat)) in
-      let worker =
-        match (lbl, pat.ppat_desc) with
-        | (Asttypes.Labelled "worker" | Asttypes.Optional "worker"),
-          Ppat_var { txt; _ } ->
-          Some txt
-        | _ -> worker
-      in
-      params locals worker body
-    | Pexp_newtype (_, body) -> params locals worker body
-    | _ -> walk locals worker e
-  and case locals worker c =
-    let locals = S.union locals (S.of_list (pat_vars [] c.pc_lhs)) in
-    Option.iter (walk locals worker) c.pc_guard;
-    walk locals worker c.pc_rhs
-  and walk locals worker e =
-    match e.pexp_desc with
-    | Pexp_let (rf, vbs, body) ->
-      let bound = List.concat_map (fun vb -> pat_vars [] vb.pvb_pat) vbs in
-      let locals' = S.union locals (S.of_list bound) in
-      let rhs_env = if rf = Asttypes.Recursive then locals' else locals in
-      List.iter (fun vb -> walk rhs_env worker vb.pvb_expr) vbs;
-      walk locals' worker body
-    | Pexp_fun (_, dflt, pat, body) ->
-      Option.iter (walk locals worker) dflt;
-      walk (S.union locals (S.of_list (pat_vars [] pat))) worker body
-    | Pexp_newtype (_, body) -> walk locals worker body
-    | Pexp_function cases -> List.iter (case locals worker) cases
-    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
-      walk locals worker scrut;
-      List.iter (case locals worker) cases
-    | Pexp_for (pat, lo, hi, _, body) ->
-      walk locals worker lo;
-      walk locals worker hi;
-      walk (S.union locals (S.of_list (pat_vars [] pat))) worker body
-    | Pexp_setfield (tgt, _, v) ->
-      if not (local_head locals tgt) then
-        mutation e.pexp_loc "mutates a captured record field";
-      walk locals worker tgt;
-      walk locals worker v
-    | Pexp_apply (f, args) ->
-      (match ident_path f with
-      | Some p -> (
-        match (p, args) with
-        | ([ ":=" ] | [ "incr" ] | [ "decr" ]), (_, r) :: _ ->
-          if not (local_head locals r) then
-            mutation e.pexp_loc "mutates a captured ref cell"
-        | [ "Array"; ("set" | "unsafe_set") ], (_, arr) :: (_, idx) :: _ ->
-          if not (local_head locals arr) && not (mentions_any locals idx)
-          then
-            mutation e.pexp_loc
-              "writes a captured array at a non-task-local index (the \
-               disjoint-slot convention needs the index derived from the \
-               task argument)"
-        | [ "Array"; ("get" | "unsafe_get") ], (_, arr) :: (_, idx) :: _ ->
-          (match worker with
-          | Some w when (not (local_head locals arr)) && mentions_name w idx
-            ->
-            escape e.pexp_loc "reads a captured array at the worker index"
-          | _ -> ())
-        | _, (_, c) :: _ when container_mutator p ->
-          if not (local_head locals c) then
-            mutation e.pexp_loc
-              (Printf.sprintf "mutates a captured %s" (List.hd p))
-        | _, _ when synchronized p -> ()
-        | _, _ -> (
-          match (worker, p) with
-          | Some w, _ ->
-            let captured =
-              match p with
-              | [ s ] -> not (S.mem s locals)
-              | _ :: _ :: _ -> true
-              | _ -> false
-            in
-            if captured && List.exists (fun (_, a) -> mentions_name w a) args
-            then
-              escape e.pexp_loc
-                (Printf.sprintf "passes the worker id into captured %s"
-                   (String.concat "." p))
-          | None, _ -> ()))
-      | None -> ());
-      walk locals worker f;
-      List.iter (fun (_, a) -> walk locals worker a) args
-    | _ -> List.iter (walk locals worker) (sub_exprs e)
-  in
-  params S.empty None closure
+(* The closure walk itself lives in {!Interproc.analyze_task}: direct
+   mutation of captured state stays SA005 there, while everything the
+   syntactic heuristics used to guess at (worker-id escapes, mutation
+   through helpers) is SA012, grounded on the call graph and the effect
+   summaries. *)
 
 (* ------------------------------------------------------------------ *)
 (* The per-file pass                                                    *)
@@ -437,7 +165,7 @@ let check_structure ~ctx ~path ~role str =
            Fp_core.Degradation mapping"
       | _ -> ())
     | _ -> ());
-    (match ident_path f with
+    match ident_path f with
     | Some p -> (
       match last2 p with
       | Some ("Fault", meth) when List.mem meth fault_meths ->
@@ -454,39 +182,23 @@ let check_structure ~ctx ~path ~role str =
             | _ -> ())
           args
       | _ -> ())
-    | None -> ());
-    match ident_path f with
-    | Some p -> (
-      match pool_fn p with
-      | Some fname ->
-        List.iter
-          (fun (_, a) ->
-            if is_fun_literal a then
-              analyze_closure ~emit:(fun l m -> emit SA005 l m) ~fname a)
-          args
-      | None -> ())
     | None -> ()
   in
-  let on_try loc cases =
-    match List.find_opt is_catch_all cases with
+  let on_try cases =
+    (* [Abort] is the cooperative-interrupt signal with sanctioned
+       pass-through; a handler that re-raises it may deliberately
+       contain everything else (that is how hook/candidate failures are
+       absorbed, Fault.Injected included).  A catch-all that records
+       the exception for a later re-raise is containment too — the
+       refined predicate is shared with the [catches-all] effect, so
+       SA006 and SA011 cannot disagree about what swallowing means. *)
+    match swallowing_catch_all cases with
     | None -> ()
     | Some ca ->
-      (* [Abort] is the cooperative-interrupt signal with sanctioned
-         pass-through; a handler that re-raises it may deliberately
-         contain everything else (that is how hook/candidate failures
-         are absorbed, Fault.Injected included). *)
-      let contained =
-        List.exists
-          (fun c ->
-            pat_mentions_construct [ "Abort" ] c.pc_lhs
-            && body_raises c.pc_rhs)
-          cases
-      in
-      if (not contained) && not (body_raises ca.pc_rhs) then
-        emit SA006 loc
-          "catch-all exception handler can swallow Augment.Abort / \
-           Fault.Injected — match concrete exceptions, or re-raise the \
-           containment exceptions first"
+      emit SA006 ca.pc_lhs.ppat_loc
+        "catch-all exception handler can swallow Augment.Abort / \
+         Fault.Injected — match concrete exceptions, re-raise the \
+         containment exceptions first, or record for a later re-raise"
   in
   let it =
     {
@@ -496,10 +208,7 @@ let check_structure ~ctx ~path ~role str =
           (match e.pexp_desc with
           | Pexp_ident { txt; _ } -> on_ident e.pexp_loc (norm (flatten txt))
           | Pexp_apply (f, args) -> on_apply e.pexp_loc f args
-          | Pexp_try (_, cases) ->
-            (match List.find_opt is_catch_all cases with
-            | Some ca -> on_try ca.pc_lhs.ppat_loc cases
-            | None -> ())
+          | Pexp_try (_, cases) -> on_try cases
           | _ -> ());
           Ast_iterator.default_iterator.expr self e);
     }

@@ -1,12 +1,14 @@
-(** The SA rule implementations: one pass of {!Ast_iterator} over a
-    parsed implementation file.
+(** The syntactic SA rule implementations: one pass of {!Ast_iterator}
+    over a parsed implementation file.
 
-    The rules are {e syntactic} — they run on the Parsetree, before any
-    typing — so each is a conservative approximation of the semantic
-    invariant it guards, documented per rule in
-    [docs/static-analysis.md].  Known-intentional violations are carried
-    by the justification-annotated baseline ({!Baseline}), not by
-    loosening the rules. *)
+    The rules here are {e syntactic} — they run on the Parsetree,
+    before any typing — so each is a conservative approximation of the
+    semantic invariant it guards, documented per rule in
+    [docs/static-analysis.md].  The interprocedural rules (SA010–SA012)
+    live in {!Interproc}, on top of {!Callgraph} and {!Effects}.
+    Known-intentional violations are carried by the
+    justification-annotated baseline ({!Baseline}), not by loosening
+    the rules. *)
 
 type role =
   | Lib      (** [lib/] — the solver library; strictest rule set *)
@@ -26,10 +28,12 @@ type context = { known_sites : string list }
 
 val applies : Finding.rule -> role:role -> path:string -> bool
 (** Whether [rule] is in force for a file.  Encodes the scoping and the
-    sanctioned-file exemptions: SA001/SA003/SA004/SA006 are [Lib]-only
-    (with [lib/geometry/tol.ml], [lib/core/augment.ml] and
+    sanctioned-file exemptions: SA001/SA003/SA004/SA006/SA010 are
+    [Lib]-only (with [lib/geometry/tol.ml], [lib/core/augment.ml] and
     [lib/core/degradation.ml] carved out of their respective rules);
-    SA002/SA005/SA007/SA008 apply to every role. *)
+    SA002/SA005/SA007/SA008/SA011/SA012 apply to every role.  The
+    {!Interproc} findings are filtered through this same table by the
+    driver. *)
 
 val check_structure :
   ctx:context ->

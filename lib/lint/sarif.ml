@@ -1,0 +1,99 @@
+(* SARIF 2.1.0 rendering of lint findings.
+
+   Hand-rolled JSON: the repository deliberately has no JSON
+   dependency, and the subset SARIF needs (objects, arrays, strings,
+   ints) is small.  The schema subset emitted here is what GitHub code
+   scanning consumes via codeql-action/upload-sarif:
+
+     runs[0].tool.driver        — name, rules (id + shortDescription)
+     runs[0].results            — ruleId, level, message, one physical
+                                  location (artifactLocation + region)
+     results[i].suppressions    — findings matched by the justification
+                                  baseline are uploaded as suppressed,
+                                  with the justification text, instead
+                                  of being dropped: the SARIF view shows
+                                  the full truth, the exit code only
+                                  reflects unbaselined findings. *)
+
+let buf_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let str s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  buf_escaped b s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+(* SA000 is an infrastructure failure and SA001..8 guard invariants
+   whose violation is always a defect, so everything maps to "error";
+   the baseline expresses acceptance via suppressions, not severity. *)
+let level_of (_ : Finding.rule) = "error"
+
+let rule_json r =
+  Printf.sprintf
+    "{\"id\":%s,\"shortDescription\":{\"text\":%s},\"helpUri\":%s}"
+    (str (Finding.rule_name r))
+    (str (Finding.rule_doc r))
+    (str "https://example.invalid/docs/static-analysis.md")
+
+let result_json ~justification (f : Finding.t) =
+  let suppression =
+    match justification with
+    | None -> ""
+    | Some j ->
+      Printf.sprintf
+        ",\"suppressions\":[{\"kind\":\"external\",\"justification\":%s}]"
+        (str j)
+  in
+  Printf.sprintf
+    "{\"ruleId\":%s,\"level\":%s,\"message\":{\"text\":%s},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":%s,\"uriBaseId\":\"SRCROOT\"},\"region\":{\"startLine\":%d}}}]%s}"
+    (str (Finding.rule_name f.Finding.rule))
+    (str (level_of f.Finding.rule))
+    (str f.Finding.msg) (str f.Finding.file) f.Finding.line suppression
+
+(* The justification for a finding, when a baseline entry covers it —
+   mirrors {!Baseline.apply}'s matching (same file and rule; the entry
+   is either whole-file or pinned to the finding's line). *)
+let justification_for entries (f : Finding.t) =
+  if f.Finding.rule = Finding.SA000 then None
+  else
+    List.find_map
+      (fun (e : Baseline.entry) ->
+        if
+          e.Baseline.e_file = f.Finding.file
+          && e.Baseline.e_rule = f.Finding.rule
+          && match e.Baseline.e_line with
+             | None -> true
+             | Some l -> l = f.Finding.line
+        then Some e.Baseline.e_just
+        else None)
+      entries
+
+let render ?(baseline = []) findings =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b
+    "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"fp_lint\",\"informationUri\":\"https://example.invalid/docs/static-analysis.md\",\"rules\":[";
+  Buffer.add_string b
+    (String.concat "," (List.map rule_json Finding.all_rules));
+  Buffer.add_string b "]}},\"results\":[";
+  Buffer.add_string b
+    (String.concat ","
+       (List.map
+          (fun f ->
+            result_json ~justification:(justification_for baseline f) f)
+          findings));
+  Buffer.add_string b "]}]}";
+  Buffer.add_char b '\n';
+  Buffer.contents b

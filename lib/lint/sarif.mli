@@ -1,0 +1,13 @@
+(** SARIF 2.1.0 rendering of lint findings ([fp_lint --sarif]).
+
+    Hand-rolled JSON (no dependency), covering the subset GitHub code
+    scanning consumes: the rule catalogue, one result per finding with
+    a single physical location, and [suppressions] entries carrying the
+    baseline justification for findings the repository has accepted —
+    the SARIF report shows every finding, suppressed or not, while the
+    exit code reflects only unbaselined ones. *)
+
+val render : ?baseline:Baseline.entry list -> Finding.t list -> string
+(** One complete SARIF document (trailing newline included).  Findings
+    covered by a [baseline] entry are emitted with a suppression whose
+    justification is the entry's text. *)

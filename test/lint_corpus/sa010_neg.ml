@@ -1,0 +1,20 @@
+(* SA010 negative: pool tasks whose whole call graph stays
+   deterministic — pure helpers, arithmetic, locally-created state. *)
+
+let double x = x * 2
+
+let combine a b = a + b
+
+let wave pool xs =
+  Fp_util.Pool.map pool (fun ~worker:_ x -> combine (double x) 1) xs
+
+(* A task-local accumulator is invisible outside the task. *)
+let fold pool xs =
+  Fp_util.Pool.map pool
+    (fun ~worker:_ x ->
+      let acc = ref 0 in
+      for i = 1 to x do
+        acc := !acc + double i
+      done;
+      !acc)
+    xs

@@ -1,0 +1,23 @@
+(* SA010 positive: ambient effects hidden behind helpers — invisible to
+   the syntactic rules (SA002 only knows Random, SA003 only knows the
+   print family), caught by the transitive effect fixpoint. *)
+
+(* Ambient RNG two helpers below the task: Hashtbl.randomize reseeds
+   the universal hash, and no syntactic rule knows its name. *)
+let reseed_tables () = Hashtbl.randomize ()
+
+let prepare_shard shard =
+  reseed_tables ();
+  shard * 2
+
+let wave pool shards =
+  Fp_util.Pool.map pool (fun ~worker:_ shard -> prepare_shard shard) shards
+
+(* Console input below the task: read_line is IO outside SA003's
+   write-side table. *)
+let ask () = read_line ()
+
+let load_hint key = if key = 0 then 0 else String.length (ask ())
+
+let hints pool keys =
+  Fp_util.Pool.map pool (fun ~worker:_ k -> load_hint k) keys

@@ -1,0 +1,24 @@
+(* SA011 negative: containment below the task, not swallowing — the
+   cooperative interrupt is re-raised, or the exception is recorded in
+   task-local state for a later re-raise. *)
+
+exception Abort
+
+(* Everything but the cooperative interrupt is absorbed: the
+   sanctioned containment shape. *)
+let guarded k = try k * 2 with Abort -> raise Abort | _ -> 0
+
+(* Record-and-continue: the caught exception flows into a store the
+   caller owns, so nothing is dropped. *)
+let recorded slot k =
+  try k * 2
+  with e ->
+    slot := Some e;
+    0
+
+let sweep pool ks =
+  Fp_util.Pool.map pool
+    (fun ~worker:_ k ->
+      let slot = ref None in
+      guarded k + recorded slot k)
+    ks

@@ -1,0 +1,9 @@
+(* SA011 positive: a helper below the pool task swallows every
+   exception — Abort/Injected raised inside the task vanish one call
+   down, where SA006's per-handler view may be out of force (bench/bin
+   pools) and the task itself looks clean. *)
+
+let try_candidate k = try Some (100 / k) with _ -> None
+
+let sweep pool ks =
+  Fp_util.Pool.map pool (fun ~worker:_ k -> try_candidate k) ks

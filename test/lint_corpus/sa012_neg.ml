@@ -1,0 +1,34 @@
+(* SA012 negative: the blessed shapes — eager per-worker copies
+   addressed through a one-line accessor, synchronized state, and
+   task-local state handed to mutating helpers. *)
+
+let step st = st := !st + 1
+
+(* The eager per-worker-copy pattern from docs/parallel.md: one slot
+   per worker, filled before the batch, read back at the worker index
+   through a local accessor.  The helper mutates its parameter, but the
+   parameter is this worker's own copy. *)
+let wave pool =
+  let states = Array.init (Fp_util.Pool.jobs pool) (fun _ -> ref 0) in
+  let state_of worker = Array.get states worker in
+  Fp_util.Pool.run pool (fun ~worker () -> step (state_of worker))
+
+(* Synchronized shared state is fine. *)
+let gauge = Atomic.make 0
+
+let ticks pool xs =
+  Fp_util.Pool.map pool
+    (fun ~worker:_ x ->
+      Atomic.incr gauge;
+      x)
+    xs
+
+(* A task-local value handed to a mutating helper is the normal
+   ownership pattern. *)
+let local_count pool xs =
+  Fp_util.Pool.map pool
+    (fun ~worker:_ x ->
+      let c = ref 0 in
+      step c;
+      !c + x)
+    xs

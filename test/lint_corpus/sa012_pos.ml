@@ -1,0 +1,26 @@
+(* SA012 positive: captured mutable state reaching the pool task
+   through helpers — exactly what the syntactic SA005 pass cannot see,
+   because no mutation is textually inside the closure. *)
+
+(* A captured ref handed to a helper that mutates its parameter. *)
+let bump c = incr c
+
+let total = ref 0
+
+let count pool xs =
+  Fp_util.Pool.map pool (fun ~worker:_ x -> bump total; x) xs
+
+(* A helper that mutates module-level state, one call below the task. *)
+let tally : (int, bool) Hashtbl.t = Hashtbl.create 16
+
+let note k = Hashtbl.replace tally k true
+
+let record pool xs =
+  Fp_util.Pool.map pool (fun ~worker:_ x -> note x; x) xs
+
+(* A let-bound local helper capturing shared state. *)
+let hits = ref 0
+
+let scan pool xs =
+  let mark () = incr hits in
+  Fp_util.Pool.map pool (fun ~worker:_ x -> mark (); x) xs
