@@ -21,6 +21,8 @@ module Generator = Fp_netlist.Generator
 module BB = Fp_milp.Branch_bound
 module Skyline = Fp_geometry.Skyline
 module Rect = Fp_geometry.Rect
+module Solver = Fp_engine.Solver
+module Portfolio = Fp_engine.Portfolio
 open Fp_core
 
 let out_dir = ref "."
@@ -210,6 +212,7 @@ let table1 () =
       rows :=
         Json.Obj
           ([
+            ("engine", Json.Str "milp");
             ("k", Json.Int k);
             ("time_s", Json.Float dt);
             ("area", Json.Float (Placement.chip_area pl));
@@ -444,7 +447,8 @@ let baseline_comparison () =
       let t_milp = Unix.gettimeofday () -. t0 in
       let slicing_cfg =
         { Fp_slicing.Anneal.default_config with
-          Fp_slicing.Anneal.width_limit = Some milp_pl.Placement.chip_width }
+          Fp_slicing.Anneal.outline =
+            Fp_core.Outline.Max_width milp_pl.Placement.chip_width }
       in
       let sa_pl, sa_stats = Fp_slicing.Anneal.run ~config:slicing_cfg nl in
       let row name pl t =
@@ -545,6 +549,7 @@ let ablation_warm_start () =
       rows :=
         Json.Obj
           [
+            ("engine", Json.Str "milp");
             ("k", Json.Int k);
             ("cold", mode_obj cold_steps cold_pl cold_dt cold_err);
             ("warm", mode_obj warm_steps warm_pl warm_dt warm_err);
@@ -598,6 +603,7 @@ let ablation_parallel () =
       rows :=
         Json.Obj
           ([
+            ("engine", Json.Str "milp");
             ("jobs", Json.Int j);
             ("time_s", Json.Float dt);
             ("speedup", Json.Float speedup);
@@ -755,8 +761,8 @@ let fault_matrix () =
         printf "%-26s %8s %8s %8s  CRASH: %s\n" site "-" "FAIL" "-" msg;
         rows :=
           Json.Obj
-            [ ("site", Json.Str site); ("ok", Json.Bool false);
-              ("crash", Json.Str msg) ]
+            [ ("engine", Json.Str "milp"); ("site", Json.Str site);
+              ("ok", Json.Bool false); ("crash", Json.Str msg) ]
           :: !rows
       | Ok (res, pl) ->
         let errors, _, _ =
@@ -779,6 +785,7 @@ let fault_matrix () =
         rows :=
           Json.Obj
             [
+              ("engine", Json.Str "milp");
               ("site", Json.Str site);
               ("injections", Json.Int injected);
               ("certified", Json.Bool (errors = 0));
@@ -803,6 +810,70 @@ let fault_matrix () =
     printf "\nfault matrix FAILURES:\n";
     List.iter (fun f -> printf "  %s\n" f) fs;
     exit Fp_core.Degradation.exit_error
+
+(* --------------------------------------------------------------------- *)
+(* Portfolio: race the three engines on ami33, per-engine JSON records    *)
+(* --------------------------------------------------------------------- *)
+
+let portfolio_bench () =
+  hr "Portfolio -- engine race on ami33 (milp, sa, project)";
+  printf "(every engine solves the same scenario behind the Solver\n";
+  printf " interface; the winner is the lowest objective among certified\n";
+  printf " plans -- deterministic for a fixed seed under Best_certified)\n\n";
+  let nl = Fp_data.Ami33.netlist () in
+  let engines =
+    [
+      Fp_engine.Milp_engine.make ~config:(base_config ()) ();
+      Fp_engine.Sa_engine.make ();
+      Fp_engine.Project.solver;
+    ]
+  in
+  let scenario = { Solver.default_scenario with Solver.seed = 1990 } in
+  let report = Portfolio.race ~engines ~scenario nl in
+  printf "%-10s %10s %12s %10s %10s %8s\n" "Engine" "Certified" "Objective"
+    "Time (s)" "Work" "Degr";
+  let rows =
+    List.map
+      (fun (e : Portfolio.entry) ->
+        let st = e.Portfolio.outcome.Solver.stats in
+        printf "%-10s %10s %12.1f %10.2f %10d %8d\n" e.Portfolio.solver_name
+          (if st.Solver.certified then "yes" else "no")
+          st.Solver.objective st.Solver.wall_time st.Solver.work
+          (List.length st.Solver.degradations);
+        Json.Obj
+          [
+            ("engine", Json.Str st.Solver.engine);
+            ("certified", Json.Bool st.Solver.certified);
+            ("objective", Json.Float st.Solver.objective);
+            ("time_s", Json.Float st.Solver.wall_time);
+            ("work", Json.Int st.Solver.work);
+            ("complete", Json.Bool st.Solver.complete);
+            ("ran", Json.Bool e.Portfolio.ran);
+            ( "degradations",
+              Json.List
+                (List.map
+                   (fun (_, d) -> Json.Str (Degradation.to_string d))
+                   st.Solver.degradations) );
+            ( "detail",
+              Json.Obj
+                (List.map (fun (k, v) -> (k, Json.Float v)) st.Solver.detail)
+            );
+          ])
+      report.Portfolio.entries
+  in
+  let winner_name =
+    match report.Portfolio.winner with
+    | Some w -> w.Portfolio.solver_name
+    | None -> "none"
+  in
+  printf "\nwinner: %s\n" winner_name;
+  write_json "portfolio"
+    [
+      ("instance", Json.Str "ami33");
+      ("winner", Json.Str winner_name);
+      ("race_time_s", Json.Float report.Portfolio.wall_time);
+      ("rows", Json.List rows);
+    ]
 
 (* --------------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one Test.make per table + kernel ablations  *)
@@ -938,6 +1009,7 @@ let () =
   let run_t1 = ref false and run_t2 = ref false and run_t3 = ref false in
   let run_figs = ref false and run_abl = ref false and run_bch = ref false in
   let run_chk = ref false and run_par = ref false and run_flt = ref false in
+  let run_pf = ref false in
   let any = ref false in
   let speclist =
     [
@@ -966,6 +1038,9 @@ let () =
       ( "--ablation-parallel",
         Arg.Unit (fun () -> any := true; run_par := true),
         "  run only the domain-parallel scaling ablation" );
+      ( "--portfolio",
+        Arg.Unit (fun () -> any := true; run_pf := true),
+        "  race the milp/sa/project engines and record per-engine rows" );
       ( "--faults",
         Arg.Unit (fun () -> any := true; run_flt := true),
         Printf.sprintf
@@ -996,7 +1071,8 @@ let () =
     run_figs := true;
     run_abl := true;
     run_bch := true;
-    run_chk := true
+    run_chk := true;
+    run_pf := true
   end;
   if !run_t1 then table1 ();
   if !run_t2 then table2 ();
@@ -1005,6 +1081,7 @@ let () =
   if !run_abl then ablations ();
   if !run_par && not !run_abl then ablation_parallel ();
   if !run_flt then fault_matrix ();
+  if !run_pf then portfolio_bench ();
   if !run_chk then check_overhead ();
   if !run_bch then run_bechamel ();
   printf "\ndone.\n"

@@ -19,6 +19,8 @@ module Generator = Fp_netlist.Generator
 module Parser = Fp_netlist.Parser
 module BB = Fp_milp.Branch_bound
 module Fault = Fp_util.Fault
+module Solver = Fp_engine.Solver
+module Portfolio = Fp_engine.Portfolio
 open Fp_core
 
 let setup_logs verbose =
@@ -227,6 +229,33 @@ let report_degradations (res : Augment.result) =
 let degraded_exit (res : Augment.result) =
   Degradation.exit_code (List.map snd res.Augment.degradations)
 
+(* Engine-layer counterpart of [report_degradations], reading the typed
+   {!Solver.stats} instead of the [Augment] result. *)
+let report_engine_degradations (st : Solver.stats) =
+  (match st.Solver.degradations with
+  | [] -> ()
+  | ds ->
+    Printf.printf "degraded   : %d event%s\n" (List.length ds)
+      (if List.length ds = 1 then "" else "s");
+    List.iter
+      (fun (step, d) ->
+        Printf.printf "  step %d: %s\n" step (Degradation.to_string d))
+      ds);
+  if not st.Solver.complete then
+    if String.equal st.Solver.engine "milp" then
+      Printf.printf "interrupted: yes (continue with --resume)\n"
+    else Printf.printf "truncated  : yes (time budget)\n"
+
+(* One line per raced engine in the portfolio report. *)
+let report_engine_stats (st : Solver.stats) =
+  Printf.printf "  %-8s : %s  objective=%.1f  time=%.2fs  work=%d%s\n"
+    st.Solver.engine
+    (if st.Solver.certified then "certified" else "uncertified")
+    st.Solver.objective st.Solver.wall_time st.Solver.work
+    (match st.Solver.degradations with
+    | [] -> ""
+    | ds -> Printf.sprintf "  degradations=%d" (List.length ds))
+
 let refine_arg =
   Arg.(value & flag
        & info [ "refine" ]
@@ -235,8 +264,48 @@ let refine_arg =
 let slicing_arg =
   Arg.(value & flag
        & info [ "slicing" ]
-           ~doc:"Use the slicing simulated-annealing baseline instead of \
-                 the MILP floorplanner.")
+           ~doc:"Alias for $(b,--engine sa): use the slicing \
+                 simulated-annealing baseline instead of the MILP \
+                 floorplanner.")
+
+let engine_arg =
+  Arg.(value
+       & opt
+           (enum
+              [ ("milp", `Milp); ("sa", `Sa); ("project", `Project);
+                ("portfolio", `Portfolio) ])
+           `Milp
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:
+             "Floorplanning engine: $(b,milp) (successive-augmentation \
+              MILP, the default), $(b,sa) (slicing simulated annealing), \
+              $(b,project) (feasibility-seeking projections), or \
+              $(b,portfolio) (race all three and keep the best certified \
+              plan).")
+
+let outline_arg =
+  Arg.(value & opt (some (t2 ~sep:'x' float float)) None
+       & info [ "outline" ] ~docv:"WxH"
+           ~doc:
+             "Fixed-outline mode: constrain the floorplan to a \
+              $(docv) die.  A plan that exceeds the outline is still \
+              reported, with the overshoot as a quality degradation \
+              (exit 3).")
+
+(* The engine-agnostic knob record every backend consumes.  [--outline]
+   wins over [--width]; [--width] alone is the paper's half-open strip. *)
+let scenario_of ~seed ~width ~outline ~wire ~time_budget ~checkpoint =
+  {
+    Solver.seed;
+    outline =
+      (match (outline, width) with
+      | Some (w, h), _ -> Outline.Fixed { w; h }
+      | None, Some w -> Outline.Max_width w
+      | None, None -> Outline.Free);
+    wire_weight = wire;
+    time_budget;
+    checkpoint;
+  }
 
 let svg_arg =
   Arg.(value & opt (some string) None
@@ -368,7 +437,7 @@ let report_plan nl pl dt =
 let plan_cmd =
   let run input ami33 random seed verbose width group ordering wire envelope
       nodes jobs candidates time_budget retries checkpoint resume stop_after
-      faults refine slicing svg ascii lint =
+      faults refine slicing engine outline svg ascii lint =
     setup_logs verbose;
     match
       let ( let* ) = Result.bind in
@@ -399,35 +468,66 @@ let plan_cmd =
         | Some n ->
           { config with Augment.inspect = with_stop_after n config.Augment.inspect }
       in
-      if slicing then begin
-        let sa_cfg =
-          { Fp_slicing.Anneal.default_config with
-            Fp_slicing.Anneal.width_limit = width;
-            wire_weight = Option.value wire ~default:0.;
-            seed }
-        in
-        let pl, stats = Fp_slicing.Anneal.run ~config:sa_cfg nl in
-        report_plan nl pl stats.Fp_slicing.Anneal.elapsed;
-        0
-      end
-      else begin
-        let res, pl, dt = run_plan ?resume nl config refine in
-        report_plan nl pl dt;
-        report_degradations res;
+      let engine = if slicing then `Sa else engine in
+      let scenario =
+        scenario_of ~seed ~width ~outline ~wire ~time_budget ~checkpoint
+      in
+      let solver_of = function
+        | `Milp -> Fp_engine.Milp_engine.make ~config ?resume ~refine ()
+        | `Sa -> Fp_engine.Sa_engine.make ()
+        | `Project -> Fp_engine.Project.solver
+      in
+      (* Shared tail for every engine: metrics, degradations, renderings,
+         optional lint certification, exit via the degradation ladder. *)
+      let epilogue (st : Solver.stats) pl =
+        report_plan nl pl st.Solver.wall_time;
+        report_engine_degradations st;
         Option.iter
           (fun path ->
             Fp_viz.Svg.save path (Fp_viz.Svg.of_placement ~netlist:nl pl);
             Printf.printf "svg        : %s\n" path)
           svg;
         if ascii then print_string (Fp_viz.Ascii.render pl);
+        let degraded =
+          Degradation.exit_code (List.map snd st.Solver.degradations)
+        in
         if lint then begin
           certify_final nl pl findings;
           match report_findings ~machine:false !findings with
-          | 0 -> degraded_exit res
+          | 0 -> degraded
           | n -> n
         end
-        else degraded_exit res
-      end
+        else degraded
+      in
+      (match engine with
+      | `Portfolio ->
+        let engines = List.map solver_of [ `Milp; `Sa; `Project ] in
+        let report = Portfolio.race ~engines ~scenario nl in
+        List.iter
+          (fun (e : Portfolio.entry) ->
+            if e.Portfolio.ran then
+              report_engine_stats e.Portfolio.outcome.Solver.stats
+            else Printf.printf "  %-8s : skipped\n" e.Portfolio.solver_name)
+          report.Portfolio.entries;
+        (match report.Portfolio.winner with
+        | None ->
+          Printf.eprintf "error: no engine produced a certified plan\n";
+          Degradation.exit_error
+        | Some w ->
+          Printf.printf "winner     : %s  (race %.2f s)\n"
+            w.Portfolio.solver_name report.Portfolio.wall_time;
+          (match w.Portfolio.outcome.Solver.plan with
+          | Some pl -> epilogue w.Portfolio.outcome.Solver.stats pl
+          | None -> assert false (* a certified winner carries a plan *)))
+      | (`Milp | `Sa | `Project) as e -> (
+        let s = solver_of e in
+        let ctx = Solver.of_scenario scenario in
+        let outcome = s.Solver.solve ctx scenario nl in
+        match outcome.Solver.plan with
+        | None ->
+          Printf.eprintf "error: engine %s produced no plan\n" s.Solver.name;
+          Degradation.exit_error
+        | Some pl -> epilogue outcome.Solver.stats pl))
   in
   let term =
     Term.(
@@ -435,7 +535,8 @@ let plan_cmd =
       $ width_arg $ group_arg $ ordering_arg $ objective_arg $ envelope_arg
       $ nodes_arg $ jobs_arg $ candidates_arg $ time_budget_arg $ retries_arg
       $ checkpoint_arg $ resume_arg $ stop_after_arg $ faults_arg
-      $ refine_arg $ slicing_arg $ svg_arg $ ascii_arg $ lint_arg)
+      $ refine_arg $ slicing_arg $ engine_arg $ outline_arg $ svg_arg
+      $ ascii_arg $ lint_arg)
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Floorplan an instance by successive augmentation")

@@ -31,7 +31,8 @@ let () =
     (* Slicing baseline at the same chip width. *)
     let sa_cfg =
       { Fp_slicing.Anneal.default_config with
-        Fp_slicing.Anneal.width_limit = Some milp.Placement.chip_width;
+        Fp_slicing.Anneal.outline =
+          Fp_core.Outline.Max_width milp.Placement.chip_width;
         wire_weight = 0.5 }
     in
     let sa, stats = Fp_slicing.Anneal.run ~config:sa_cfg nl in

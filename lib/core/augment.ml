@@ -53,6 +53,7 @@ type inspect = {
 
 type config = {
   chip_width : float option;
+  height_limit : float option;
   group_size : int;
   ordering : [ `Linear | `Random of int | `Area_desc ];
   objective : Formulation.objective;
@@ -77,6 +78,7 @@ type config = {
 let default_config =
   {
     chip_width = None;
+    height_limit = None;
     group_size = 4;
     ordering = `Linear;
     objective = Formulation.Min_height;
@@ -127,6 +129,9 @@ let config_digest cfg =
   let b = Buffer.create 256 in
   let p fmt = Printf.bprintf b fmt in
   (match cfg.chip_width with None -> p "w:auto;" | Some w -> p "w:%h;" w);
+  (* Emitted only when set, so digests of unconstrained configs match
+     the ones journals recorded before the field existed. *)
+  (match cfg.height_limit with None -> () | Some h -> p "hlim:%h;" h);
   p "g:%d;" cfg.group_size;
   (match cfg.ordering with
   | `Linear -> p "ord:linear;"
@@ -316,14 +321,38 @@ let evaluate cfg nl ~chip_width ~skyline ~placement ~pool ~mode group =
   let ids = Array.of_list group in
   let obstacles = obstacles_of cfg skyline placement in
   let height_bound =
-    Skyline.max_height skyline
-    +. Array.fold_left
-         (fun a it ->
-           a
-           +. item_max_height ~allow_rotation:cfg.allow_rotation
-                ~linearization:cfg.linearization it)
-         0. items
-    +. 1.
+    let free =
+      Skyline.max_height skyline
+      +. Array.fold_left
+           (fun a it ->
+             a
+             +. item_max_height ~allow_rotation:cfg.allow_rotation
+                  ~linearization:cfg.linearization it)
+           0. items
+      +. 1.
+    in
+    match cfg.height_limit with
+    | None -> free
+    | Some h ->
+      (* Fixed-outline mode: cap the chip-height variable at the outline
+         height, but never below what keeps [Formulation.build]
+         well-posed — every item's minimum height must fit under the
+         bound, and the obstacle tops must stay inside it.  An outline
+         the step genuinely cannot meet then shows up as MILP
+         infeasibility (warm fallback + degradation), not as a raised
+         [Invalid_argument]. *)
+      let floor_h =
+        Array.fold_left
+          (fun a it ->
+            Float.max a
+              (Formulation.item_min_height ~allow_rotation:cfg.allow_rotation
+                 it))
+          (List.fold_left
+             (fun a r -> Float.max a (Rect.y_max r))
+             0. obstacles)
+          items
+      in
+      Float.min free (Float.max h (floor_h +. 1.))
   in
   (* Warm start: greedy bottom-left packing on the profile of the
      obstacles actually passed to the MILP.  This must NOT be the
@@ -456,7 +485,7 @@ let evaluate cfg nl ~chip_width ~skyline ~placement ~pool ~mode group =
     e_degradations = List.rev !degradations;
   }
 
-let run ?(config = default_config) ?resume nl =
+let run ?(config = default_config) ?resume ?pool:shared_pool nl =
   let cfg = config in
   if Netlist.num_modules nl = 0 then
     invalid_arg "Augment.run: empty instance";
@@ -507,8 +536,13 @@ let run ?(config = default_config) ?resume nl =
           chip_width; steps_done; placement; remaining }
   in
   let with_pool k =
-    if cfg.jobs > 1 then Pool.with_pool ~jobs:cfg.jobs (fun p -> k (Some p))
-    else k None
+    match shared_pool with
+    | Some _ ->
+      (* Caller-owned pool: use it for this run, never shut it down. *)
+      k shared_pool
+    | None ->
+      if cfg.jobs > 1 then Pool.with_pool ~jobs:cfg.jobs (fun p -> k (Some p))
+      else k None
   in
   with_pool @@ fun pool ->
   let skyline = ref start_skyline in

@@ -112,6 +112,16 @@ type config = {
   chip_width : float option;
       (** [None]: use [sqrt total_reserved_area], clamped so the widest
           module fits *)
+  height_limit : float option;
+      (** fixed-outline mode (default [None]): cap each step's
+          chip-height variable at this value, so the MILP optimizes
+          {e within} the outline instead of merely minimizing height.
+          The cap is floored at what keeps every step's model well-posed
+          (tallest item minimum, obstacle tops); a step that cannot meet
+          the outline degrades to its warm packing rather than failing.
+          Whether the {e final} plan fits is the caller's check (see
+          {!Outline.excess}).  Digested into checkpoints only when set,
+          so journals from unconstrained runs stay valid. *)
   group_size : int;          (** modules added per augmentation step *)
   ordering : [ `Linear | `Random of int | `Area_desc ];
   objective : Formulation.objective;
@@ -215,7 +225,11 @@ val config_digest : config -> string
     presence only. *)
 
 val run :
-  ?config:config -> ?resume:Journal.t -> Fp_netlist.Netlist.t -> result
+  ?config:config ->
+  ?resume:Journal.t ->
+  ?pool:Fp_util.Pool.t ->
+  Fp_netlist.Netlist.t ->
+  result
 (** Run the full successive-augmentation floorplanner on an instance.
     Deterministic for a fixed config (without a [run_time_limit]; wall
     clock budgets are inherently timing-dependent).
@@ -224,6 +238,12 @@ val run :
     same {!config_digest} and the same instance; the run continues from
     the journaled partial placement and remaining ordering, and the
     final floorplan is bit-identical to the uninterrupted run's.
+
+    [pool], when given, is used for the whole run instead of creating
+    one from [config.jobs], and is {e not} shut down on return — the
+    portfolio layer lends one pool to several engines.  The caller must
+    respect the pool's no-nesting rule: [run] must then be called from
+    the pool-owning domain, not from inside one of its tasks.
 
     @raise Invalid_argument on an instance with no modules, a chip
     width too small for some module, or a checkpoint/config/instance

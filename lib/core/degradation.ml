@@ -9,12 +9,14 @@ type t =
   | Candidate_failed of string
   | Worker_failure of string
   | Task_lost of int
+  | Outline_exceeded of float
+  | Engine_failed of string
 
 let severity = function
   | Numerical_recovery _ | Task_lost _ | Hook_failed _ | Candidate_failed _
-  | Worker_failure _ | Retry_escalated _ -> 0
+  | Worker_failure _ | Retry_escalated _ | Engine_failed _ -> 0
   | Budget_exhausted_warm_fallback | Deadline_truncated -> 1
-  | Net_bound_dropped _ | Raw_warm_packing -> 2
+  | Net_bound_dropped _ | Raw_warm_packing | Outline_exceeded _ -> 2
 
 let degrades_quality t = severity t >= 1
 
@@ -35,6 +37,8 @@ let to_string = function
   | Candidate_failed msg -> Printf.sprintf "candidate_failed(%s)" (clean msg)
   | Worker_failure msg -> Printf.sprintf "worker_failure(%s)" (clean msg)
   | Task_lost n -> Printf.sprintf "task_lost(%d)" n
+  | Outline_exceeded by -> Printf.sprintf "outline_exceeded(%g)" by
+  | Engine_failed msg -> Printf.sprintf "engine_failed(%s)" (clean msg)
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 

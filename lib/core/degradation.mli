@@ -45,16 +45,26 @@ type t =
   | Task_lost of int
       (** [n] branch-and-bound frontier tasks vanished and were re-run
           inline (see {!Fp_milp.Branch_bound.outcome.tasks_lost}) *)
+  | Outline_exceeded of float
+      (** the committed plan overflows the requested fixed outline by
+          the given amount (the larger of the per-axis overshoots); the
+          plan is still overlap-free and certified, the outline
+          constraint was relaxed *)
+  | Engine_failed of string
+      (** a portfolio engine raised or produced no plan; the exception
+          text is kept and the race continued with the remaining
+          engines *)
 
 val severity : t -> int
 (** Coarse rank for sorting and for deciding a run's overall verdict:
     [0] — informational, result quality unaffected
     ([Numerical_recovery], [Task_lost], [Hook_failed],
-    [Candidate_failed], [Worker_failure], [Retry_escalated]);
+    [Candidate_failed], [Worker_failure], [Retry_escalated],
+    [Engine_failed]);
     [1] — quality degraded but constraints hold
     ([Budget_exhausted_warm_fallback], [Deadline_truncated]);
     [2] — a stated constraint was relaxed ([Net_bound_dropped],
-    [Raw_warm_packing]). *)
+    [Raw_warm_packing], [Outline_exceeded]). *)
 
 val degrades_quality : t -> bool
 (** [severity t >= 1] — the degradations that make a run

@@ -1,0 +1,29 @@
+module Tol = Fp_geometry.Tol
+
+type t =
+  | Free
+  | Max_width of float
+  | Fixed of { w : float; h : float }
+
+let width_limit = function
+  | Free -> None
+  | Max_width w -> Some w
+  | Fixed { w; _ } -> Some w
+
+let height_limit = function
+  | Free | Max_width _ -> None
+  | Fixed { h; _ } -> Some h
+
+let excess t ~w ~h =
+  match t with
+  | Free -> 0.
+  | Max_width wmax -> Float.max 0. (w -. wmax)
+  | Fixed { w = wmax; h = hmax } ->
+    Float.max 0. (Float.max (w -. wmax) (h -. hmax))
+
+let fits t ~w ~h = Tol.leq (excess t ~w ~h) 0.
+
+let to_string = function
+  | Free -> "free"
+  | Max_width w -> Printf.sprintf "max-width %g" w
+  | Fixed { w; h } -> Printf.sprintf "fixed %gx%g" w h

@@ -1,0 +1,38 @@
+(** Outline constraints on a floorplan's bounding box.
+
+    The scenario layer describes the die with one of three shapes:
+    no constraint at all, a width cap (the classic channel/row form the
+    slicing annealer has always supported), or a full fixed outline
+    [W x H] in the fixed-outline-floorplanning sense of the SNIPPETS.md
+    exemplars — the plan must fit inside the rectangle, and anything
+    taller degrades rather than fails.
+
+    All engines receive the same [t] through the [Solver] scenario
+    record; each maps it onto its native knobs ([Augment.height_limit],
+    the annealer's realization width cap, the projection backend's
+    half-space constraints). *)
+
+type t =
+  | Free  (** no outline constraint; minimize area freely *)
+  | Max_width of float
+      (** cap the bounding-box width; height is unconstrained *)
+  | Fixed of { w : float; h : float }
+      (** plan must fit in a [w x h] rectangle *)
+
+val width_limit : t -> float option
+(** The width cap, if any ([Max_width w] and [Fixed {w; _}]). *)
+
+val height_limit : t -> float option
+(** The height cap, if any ([Fixed {h; _}] only). *)
+
+val excess : t -> w:float -> h:float -> float
+(** [excess o ~w ~h] is how far a [w x h] bounding box overflows the
+    outline: the largest of the per-axis overshoots, [0.] when the box
+    fits (or the outline is [Free]).  Used both for degradation
+    reporting and as a penalty term. *)
+
+val fits : t -> w:float -> h:float -> bool
+(** [fits o ~w ~h] is [excess o ~w ~h <= Tol.eps]. *)
+
+val to_string : t -> string
+(** Human-readable form for reports, e.g. ["fixed 32.0x28.0"]. *)

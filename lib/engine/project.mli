@@ -1,0 +1,42 @@
+(** Feasibility-seeking projection floorplanner (Per-RMAP style).
+
+    The cheap third engine of the portfolio, after PAPERS.md
+    2304.06698 / 2406.03165: floorplanning is treated as a feasibility
+    problem — find module positions satisfying every pairwise
+    non-overlap constraint and the die half-spaces — and solved by
+    iterated projections, {e superiorized} by small diminishing descent
+    steps (gravity for area, net-centroid pulls for wirelength).  No
+    LP, no branch-and-bound: one sweep is [O(n^2)] rectangle pushes, so
+    the engine scales far past MILP sizes.
+
+    Shapes are fixed up front (rigid modules deterministically rotated
+    to landscape when rotation is allowed; flexible modules at their
+    squarest legal width), which makes every projection a closed-form
+    translation.  The search wraps the feasibility core in an
+    outer height-shrink loop: start from the guaranteed-feasible
+    bottom-left packing ({!Fp_core.Warm_start}), repeatedly shrink the
+    height target geometrically and re-project from the previous
+    solution, and keep the last height at which the sweeps converged.
+    A [Fixed] outline skips the loop and projects straight onto the
+    requested height.
+
+    Deterministic for a fixed scenario seed (sweep order is drawn from
+    the context RNG).  The warm packing means the engine {e always}
+    returns a certified-valid plan; failing to reach the requested
+    outline is reported as a degradation, never as a failure. *)
+
+val solver : Solver.t
+(** The engine under its portfolio name ["project"]. *)
+
+val make :
+  ?sweeps_per_height:int ->
+  ?max_heights:int ->
+  ?shrink:float ->
+  ?allow_rotation:bool ->
+  unit ->
+  Solver.t
+(** Tunable variant: [sweeps_per_height] (default [240]) caps the
+    projection sweeps per height target, [max_heights] (default [40])
+    the shrink attempts, [shrink] (default [0.97]) is the geometric
+    height decay, [allow_rotation] (default [true]) permits the
+    landscape normalization of rigid modules. *)

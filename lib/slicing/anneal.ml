@@ -4,6 +4,7 @@ module Rect = Fp_geometry.Rect
 module Tol = Fp_geometry.Tol
 module Placement = Fp_core.Placement
 module Metrics = Fp_core.Metrics
+module Outline = Fp_core.Outline
 
 type config = {
   seed : int;
@@ -11,7 +12,8 @@ type config = {
   moves_per_stage : int;
   stages : int;
   wire_weight : float;
-  width_limit : float option;
+  outline : Outline.t;
+  time_limit : float option;
   flex_samples : int;
 }
 
@@ -22,7 +24,8 @@ let default_config =
     moves_per_stage = 24;
     stages = 60;
     wire_weight = 0.;
-    width_limit = None;
+    outline = Outline.Free;
+    time_limit = None;
     flex_samples = 6;
   }
 
@@ -32,6 +35,7 @@ type stats = {
   best_cost : float;
   initial_cost : float;
   elapsed : float;
+  truncated : bool;
 }
 
 let placement_of nl cfg expr =
@@ -39,7 +43,9 @@ let placement_of nl cfg expr =
     Shape.leaf_options ~samples:cfg.flex_samples (Netlist.module_at nl m)
   in
   let sized = Shape.size expr options_of in
-  let rects, w, h = Shape.realize ?width_limit:cfg.width_limit sized in
+  let rects, w, h =
+    Shape.realize ?width_limit:(Outline.width_limit cfg.outline) sized
+  in
   let pl =
     List.fold_left
       (fun acc (m, rect, rotated) ->
@@ -53,7 +59,18 @@ let placement_of nl cfg expr =
 let cost_of nl cfg expr =
   let pl, w, h = placement_of nl cfg expr in
   let wire = if Tol.is_zero cfg.wire_weight then 0. else Metrics.hpwl nl pl in
-  (w *. h) +. (cfg.wire_weight *. wire)
+  let outline_penalty =
+    match cfg.outline with
+    | Outline.Free | Outline.Max_width _ ->
+      (* Realization already caps the width; nothing left to penalize. *)
+      0.
+    | Outline.Fixed { w = w_max; h = h_max } ->
+      (* Steep area-units penalty driving the realized height under the
+         outline: one unit of height excess costs several times the
+         area of a full outline row. *)
+      4. *. w_max *. Float.max 0. (h -. h_max)
+  in
+  (w *. h) +. (cfg.wire_weight *. wire) +. outline_penalty
 
 (* One random neighbour; returns None when the drawn move has no
    candidates (e.g. M3 on a tiny expression). *)
@@ -72,10 +89,18 @@ let neighbour rng expr =
     | [] -> None
     | cands -> Some (Polish.apply_m3 expr (List.nth cands (Rng.int rng (List.length cands)))))
 
-let run ?(config = default_config) nl =
+exception Truncated
+
+let run ?(config = default_config) ?abort nl =
   let n = Netlist.num_modules nl in
   if n = 0 then invalid_arg "Anneal.run: empty instance";
   let t0 = Unix.gettimeofday () in
+  let deadline = Option.map (fun l -> t0 +. l) config.time_limit in
+  let truncated = ref false in
+  let truncate () =
+    truncated := true;
+    raise Truncated
+  in
   let rng = Rng.create config.seed in
   let expr = ref (Polish.of_modules n) in
   let cost = ref (cost_of nl config !expr) in
@@ -101,30 +126,41 @@ let run ?(config = default_config) nl =
   in
   let temp = ref temp in
   let moves = config.moves_per_stage * Int.max 4 n / 4 in
-  for _stage = 1 to config.stages do
-    for _ = 1 to moves do
-      incr iterations;
-      match neighbour rng !expr with
-      | None -> ()
-      | Some cand ->
-        let c = cost_of nl config cand in
-        let delta = c -. !cost in
-        let accept =
-          delta <= 0.
-          || Rng.float rng 1. < Float.exp (-.delta /. Float.max 1e-9 !temp)
-        in
-        if accept then begin
-          incr accepted;
-          expr := cand;
-          cost := c;
-          if c < !best_cost then begin
-            best_cost := c;
-            best_expr := cand
-          end
-        end
-    done;
-    temp := !temp *. config.cooling
-  done;
+  (* Truncation checks consume no randomness, so runs without a deadline
+     or abort signal walk exactly the same RNG stream as before the
+     knobs existed. *)
+  (try
+     for _stage = 1 to config.stages do
+       (match deadline with
+       | Some dl when Tol.gt (Unix.gettimeofday ()) dl -> truncate ()
+       | Some _ | None -> ());
+       for _ = 1 to moves do
+         (match abort with
+         | Some a when Fp_util.Abort.is_set a -> truncate ()
+         | Some _ | None -> ());
+         incr iterations;
+         match neighbour rng !expr with
+         | None -> ()
+         | Some cand ->
+           let c = cost_of nl config cand in
+           let delta = c -. !cost in
+           let accept =
+             delta <= 0.
+             || Rng.float rng 1. < Float.exp (-.delta /. Float.max 1e-9 !temp)
+           in
+           if accept then begin
+             incr accepted;
+             expr := cand;
+             cost := c;
+             if c < !best_cost then begin
+               best_cost := c;
+               best_expr := cand
+             end
+           end
+       done;
+       temp := !temp *. config.cooling
+     done
+   with Truncated -> ());
   let pl, _, _ = placement_of nl config !best_expr in
   ( pl,
     {
@@ -133,4 +169,5 @@ let run ?(config = default_config) nl =
       best_cost = !best_cost;
       initial_cost;
       elapsed = Unix.gettimeofday () -. t0;
+      truncated = !truncated;
     } )

@@ -16,9 +16,15 @@ type config = {
                                 the module count internally *)
   stages : int;             (** maximum cooling stages (default 60) *)
   wire_weight : float;      (** weight of the HPWL term (default 0.) *)
-  width_limit : float option;
-      (** realize for minimum height at bounded width, like the MILP's
-          fixed-width chip; [None] minimizes bounding-box area *)
+  outline : Fp_core.Outline.t;
+      (** [Free] (default) minimizes bounding-box area; [Max_width w]
+          realizes for minimum height at bounded width, like the MILP's
+          fixed-width chip; [Fixed] additionally penalizes height excess
+          in the cost so the search is driven inside the outline *)
+  time_limit : float option;
+      (** wall-clock budget in seconds (default [None]); checked at each
+          cooling-stage boundary, and the best plan so far is returned
+          with [stats.truncated] set *)
   flex_samples : int;       (** shape samples per flexible module *)
 }
 
@@ -30,10 +36,22 @@ type stats = {
   best_cost : float;
   initial_cost : float;
   elapsed : float;
+  truncated : bool;
+      (** the run stopped early on its [time_limit] or an [?abort]
+          signal; the returned plan is the best seen, not the schedule's
+          endpoint *)
 }
 
 val run :
-  ?config:config -> Fp_netlist.Netlist.t -> Fp_core.Placement.t * stats
+  ?config:config ->
+  ?abort:Fp_util.Abort.t ->
+  Fp_netlist.Netlist.t ->
+  Fp_core.Placement.t * stats
 (** Floorplan an instance.  The returned placement uses the realized
     chip width as [chip_width] and is always valid (slicing floorplans
-    cannot overlap).  @raise Invalid_argument on an empty instance. *)
+    cannot overlap).  [abort], polled every move, stops the run
+    cooperatively and returns the best plan so far (the portfolio racer
+    signals it when another engine wins).  Deadline/abort checks consume
+    no randomness: for a fixed seed without truncation the result is
+    bit-identical across [time_limit]/[abort] settings.
+    @raise Invalid_argument on an empty instance. *)

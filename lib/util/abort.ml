@@ -1,0 +1,8 @@
+type t = bool Atomic.t
+
+exception Abort
+
+let create () = Atomic.make false
+let signal t = Atomic.set t true
+let is_set t = Atomic.get t
+let check t = if Atomic.get t then raise Abort

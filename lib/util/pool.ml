@@ -62,7 +62,10 @@ end
    exceptions still see a pool-level worker failure as distinct. *)
 let site_worker_exn = Fault.register "pool.worker_exn"
 
-type batch = { deques : (worker:int -> unit) Deque.t array }
+type batch = {
+  deques : (worker:int -> unit) Deque.t array;
+  abort : Abort.t option;  (* skip not-yet-started tasks once signalled *)
+}
 
 type t = {
   n_jobs : int;
@@ -81,7 +84,11 @@ let jobs t = t.n_jobs
 
 (* Drain the batch from worker [w]'s point of view: own deque first, then
    steal round-robin.  Returns when a full scan finds every deque empty —
-   final because tasks never add work. *)
+   final because tasks never add work.  When the batch carries an abort
+   flag, tasks that have not started by the time it is signalled are
+   popped and dropped unexecuted (the deques still must empty so the
+   batch terminates); tasks already running observe the flag
+   themselves. *)
 let drain t b w =
   let j = Array.length b.deques in
   let rec next_task scanned i =
@@ -100,11 +107,15 @@ let drain t b w =
     match task with
     | None -> ()
     | Some f ->
-      (try f ~worker:w with
-      | exn ->
-        Mutex.lock t.mutex;
-        if t.pending_exn = None then t.pending_exn <- Some exn;
-        Mutex.unlock t.mutex);
+      let skip =
+        match b.abort with Some a -> Abort.is_set a | None -> false
+      in
+      if not skip then
+        (try f ~worker:w with
+        | exn ->
+          Mutex.lock t.mutex;
+          if t.pending_exn = None then t.pending_exn <- Some exn;
+          Mutex.unlock t.mutex);
       go ()
   in
   go ()
@@ -146,13 +157,18 @@ let create ~jobs =
   t.domains <- Array.init (n_jobs - 1) (fun i -> Domain.spawn (worker_loop t (i + 1)));
   t
 
-let run t ~n f =
+let run ?abort t ~n f =
   if t.closed then invalid_arg "Pool.run: pool is shut down";
   if n > 0 then begin
     if t.n_jobs = 1 then
       for i = 0 to n - 1 do
-        Fault.trip site_worker_exn;
-        f ~worker:0 i
+        let skip =
+          match abort with Some a -> Abort.is_set a | None -> false
+        in
+        if not skip then begin
+          Fault.trip site_worker_exn;
+          f ~worker:0 i
+        end
       done
     else begin
       (* Deal tasks round-robin; deque j holds indices j, j + jobs, ... *)
@@ -163,7 +179,7 @@ let run t ~n f =
             Fault.trip site_worker_exn;
             f ~worker i)
       done;
-      let b = { deques } in
+      let b = { deques; abort } in
       Mutex.lock t.mutex;
       t.batch <- Some b;
       t.pending_exn <- None;

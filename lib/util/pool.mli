@@ -34,13 +34,20 @@ val create : jobs:int -> t
 val jobs : t -> int
 (** Number of workers, including the calling domain. *)
 
-val run : t -> n:int -> (worker:int -> int -> unit) -> unit
+val run : ?abort:Abort.t -> t -> n:int -> (worker:int -> int -> unit) -> unit
 (** [run t ~n f] executes [f ~worker i] for every [i] in [0, n),
     distributing tasks over all workers; [worker] is the index (in
     [0, jobs)) of the domain that actually executes the task, for
     per-domain scratch state.  Blocks until every task has finished.  If
     tasks raise, one of the exceptions is re-raised in the caller after
     the batch has drained (the rest are dropped).
+
+    When [abort] is given, tasks that have not started by the time the
+    flag is signalled are skipped (the batch still drains and [run]
+    still returns normally); tasks already running are responsible for
+    observing the flag at their own safe points.  Skipping is a
+    best-effort fast-path for cancellation — determinism guarantees
+    only hold for batches that run to completion unsignalled.
 
     Must be called from the domain that created the pool, and never
     reentrantly. *)

@@ -208,7 +208,7 @@ let test_anneal_width_limit () =
   in
   let cfg =
     { Anneal.default_config with
-      Anneal.width_limit = Some 70.; stages = 20 }
+      Anneal.outline = Fp_core.Outline.Max_width 70.; stages = 20 }
   in
   let pl, _ = Anneal.run ~config:cfg nl in
   (* The realization prefers shapes fitting the limit when any exist. *)
