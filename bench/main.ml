@@ -166,6 +166,32 @@ let resilience_fields steps =
            (List.filter (fun d -> d = Degradation.Deadline_truncated) degs)) );
   ]
 
+let formulation_fields (config : Augment.config) steps =
+  [
+    ("formulation", Json.Str (Formulation.mode_to_string config.Augment.formulation));
+    ("cuts_added", Json.Int (sum_steps (fun s -> s.Augment.cuts_added) steps));
+    ("cuts_purged", Json.Int (sum_steps (fun s -> s.Augment.cuts_purged) steps));
+    ( "separation_time_s",
+      Json.Float
+        (List.fold_left (fun a s -> a +. s.Augment.separation_time) 0. steps) );
+  ]
+
+(* First [k] modules of the ami33 instance with every net that stays
+   inside them — the prefix family the formulation ablation and the
+   fault matrix share. *)
+let ami33_prefix k =
+  let full = Fp_data.Ami33.netlist () in
+  if k >= Netlist.num_modules full then full
+  else begin
+    let mods = Array.to_list (Array.sub (Netlist.modules full) 0 k) in
+    let nets =
+      List.filter
+        (fun n -> List.for_all (fun m -> m < k) (Fp_netlist.Net.modules n))
+        (Netlist.nets full)
+    in
+    Netlist.create ~name:(Printf.sprintf "ami33_k%d" k) mods nets
+  end
+
 let table1_sizes () =
   List.filter (fun k -> k <= !max_k) Fp_data.Instances.table1_sizes
 
@@ -225,6 +251,7 @@ let table1 () =
             ("pivots", Json.Int (sum_steps (fun s -> s.Augment.pivots) steps));
             ("worst_status", Json.Str (status_str (worst_status steps)));
           ]
+          @ formulation_fields (base_config ()) steps
           @ resilience_fields steps)
         :: !rows;
       printf "%8d %12.0f %12.1f %14.2f %11.1f%% %10d\n" k
@@ -544,6 +571,7 @@ let ablation_warm_start () =
             ("certified", Json.Bool (errors = 0));
             ("worst_status", Json.Str (status_str (worst_status steps)));
           ]
+          @ formulation_fields (base_config ()) steps
           @ resilience_fields steps)
       in
       rows :=
@@ -612,6 +640,7 @@ let ablation_parallel () =
             ("identical_to_jobs1", Json.Bool identical);
             ("certified", Json.Bool (errors = 0));
           ]
+          @ formulation_fields config res.Augment.steps
           @ resilience_fields res.Augment.steps)
         :: !rows)
     [ 1; 2; 4; 8 ];
@@ -622,9 +651,65 @@ let ablation_parallel () =
       ("rows", Json.List (List.rev !rows));
     ]
 
+let ablation_formulation () =
+  hr "Ablation -- MILP formulation strengthening (basic vs tight vs cuts)";
+  printf "(basic: global big-M caps, the paper's formulation verbatim;\n";
+  printf " tight: per-pair big-M, static valid inequalities, node bound\n";
+  printf " propagation; cuts: same, with the stacking/clique families\n";
+  printf " separated lazily at B&B nodes instead of sitting in the LP)\n\n";
+  printf "%4s %-6s %10s %10s %10s %7s %7s %9s %10s %8s\n" "K" "Mode" "Height"
+    "Nodes" "Pivots" "Cuts+" "Cuts-" "Sep (s)" "Time (s)" "Certify";
+  let rows = ref [] in
+  let sizes = List.filter (fun k -> k <= !max_k) [ 10; 25; 33 ] in
+  List.iter
+    (fun k ->
+      let nl = ami33_prefix k in
+      List.iter
+        (fun fm ->
+          let config = { (base_config ()) with Augment.formulation = fm } in
+          let t0 = Unix.gettimeofday () in
+          let res, pl = floorplan ~config nl in
+          let dt = Unix.gettimeofday () -. t0 in
+          let steps = res.Augment.steps in
+          let errors, _, _ =
+            Fp_check.Diagnostic.count (Fp_check.Certify.placement nl pl)
+          in
+          printf "%4d %-6s %10.1f %10d %10d %7d %7d %9.2f %10.2f %8s\n" k
+            (Formulation.mode_to_string fm)
+            pl.Placement.height
+            (sum_steps (fun s -> s.Augment.nodes) steps)
+            (sum_steps (fun s -> s.Augment.pivots) steps)
+            (sum_steps (fun s -> s.Augment.cuts_added) steps)
+            (sum_steps (fun s -> s.Augment.cuts_purged) steps)
+            (List.fold_left (fun a s -> a +. s.Augment.separation_time) 0. steps)
+            dt
+            (if errors = 0 then "pass" else "FAIL");
+          rows :=
+            Json.Obj
+              ([
+                 ("engine", Json.Str "milp");
+                 ("k", Json.Int k);
+                 ("height", Json.Float pl.Placement.height);
+                 ("area", Json.Float (Placement.chip_area pl));
+                 ("nodes", Json.Int (sum_steps (fun s -> s.Augment.nodes) steps));
+                 ("pivots", Json.Int (sum_steps (fun s -> s.Augment.pivots) steps));
+                 ( "lp_solves",
+                   Json.Int (sum_steps (fun s -> s.Augment.lp_solves) steps) );
+                 ("time_s", Json.Float dt);
+                 ("certified", Json.Bool (errors = 0));
+                 ("worst_status", Json.Str (status_str (worst_status steps)));
+               ]
+              @ formulation_fields config steps
+              @ resilience_fields steps)
+            :: !rows)
+        [ Formulation.Basic; Formulation.Tight; Formulation.Cuts ])
+    sizes;
+  write_json "ablation_formulation" [ ("rows", Json.List (List.rev !rows)) ]
+
 let ablations () =
   ablation_warm_start ();
   ablation_parallel ();
+  ablation_formulation ();
   ablation_group_size ();
   ablation_covering ();
   ablation_branch_rule ();
@@ -692,19 +777,6 @@ let check_overhead () =
 (* --------------------------------------------------------------------- *)
 (* Fault matrix: every registered fault site injected on an ami33 prefix  *)
 (* --------------------------------------------------------------------- *)
-
-(* First [k] modules of the ami33 instance with every net that stays
-   inside them — big enough to run several augmentation steps, small
-   enough that the whole matrix finishes in CI-smoke time. *)
-let ami33_prefix k =
-  let full = Fp_data.Ami33.netlist () in
-  let mods = Array.to_list (Array.sub (Netlist.modules full) 0 k) in
-  let nets =
-    List.filter
-      (fun n -> List.for_all (fun m -> m < k) (Fp_netlist.Net.modules n))
-      (Netlist.nets full)
-  in
-  Netlist.create ~name:(Printf.sprintf "ami33_k%d" k) mods nets
 
 let fault_matrix () =
   hr "Fault matrix -- every registered fault site, ami33 K<=12 prefix";
@@ -784,7 +856,7 @@ let fault_matrix () =
              (List.sort_uniq compare (List.map Degradation.to_string degs)));
         rows :=
           Json.Obj
-            [
+            ([
               ("engine", Json.Str "milp");
               ("site", Json.Str site);
               ("injections", Json.Int injected);
@@ -797,6 +869,7 @@ let fault_matrix () =
                Json.Int (sum_steps (fun s -> s.Augment.retries) res.Augment.steps));
               ("ok", Json.Bool ok);
             ]
+            @ formulation_fields config res.Augment.steps)
           :: !rows)
     (Fp_util.Fault.sites ());
   write_json "fault_matrix"
@@ -1009,7 +1082,7 @@ let () =
   let run_t1 = ref false and run_t2 = ref false and run_t3 = ref false in
   let run_figs = ref false and run_abl = ref false and run_bch = ref false in
   let run_chk = ref false and run_par = ref false and run_flt = ref false in
-  let run_pf = ref false in
+  let run_pf = ref false and run_form = ref false in
   let any = ref false in
   let speclist =
     [
@@ -1038,6 +1111,9 @@ let () =
       ( "--ablation-parallel",
         Arg.Unit (fun () -> any := true; run_par := true),
         "  run only the domain-parallel scaling ablation" );
+      ( "--ablation-formulation",
+        Arg.Unit (fun () -> any := true; run_form := true),
+        "  run only the formulation-strengthening ablation (basic/tight/cuts)" );
       ( "--portfolio",
         Arg.Unit (fun () -> any := true; run_pf := true),
         "  race the milp/sa/project engines and record per-engine rows" );
@@ -1080,6 +1156,7 @@ let () =
   if !run_figs then figures ();
   if !run_abl then ablations ();
   if !run_par && not !run_abl then ablation_parallel ();
+  if !run_form && not !run_abl then ablation_formulation ();
   if !run_flt then fault_matrix ();
   if !run_pf then portfolio_bench ();
   if !run_chk then check_overhead ();

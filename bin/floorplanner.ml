@@ -109,6 +109,21 @@ let candidates_arg =
                  augmentation step; the one with the lowest skyline is \
                  committed.")
 
+let formulation_arg =
+  Arg.(value
+       & opt
+           (enum
+              [ ("basic", Formulation.Basic); ("tight", Formulation.Tight);
+                ("cuts", Formulation.Cuts) ])
+           Formulation.Basic
+       & info [ "formulation" ] ~docv:"MODE"
+           ~doc:
+             "MILP strengthening mode: $(b,basic) (the paper's global \
+              big-M, the default), $(b,tight) (per-pair big-M plus the \
+              static valid-inequality family in the base LP), or \
+              $(b,cuts) (per-pair big-M with the inequalities separated \
+              lazily as cutting planes at branch-and-bound nodes).")
+
 let time_budget_arg =
   Arg.(value & opt (some float) None
        & info [ "time-budget" ] ~docv:"SECS"
@@ -314,8 +329,8 @@ let svg_arg =
 let ascii_arg =
   Arg.(value & flag & info [ "ascii" ] ~doc:"Print an ASCII rendering.")
 
-let config_of ?time_budget ?(retries = 2) ?checkpoint ~width ~group ~ordering
-    ~wire ~envelope ~nodes ~seed ~jobs ~candidates () =
+let config_of ?time_budget ?(retries = 2) ?checkpoint ?(formulation = Formulation.Basic)
+    ~width ~group ~ordering ~wire ~envelope ~nodes ~seed ~jobs ~candidates () =
   let d = Augment.default_config in
   {
     d with
@@ -330,6 +345,7 @@ let config_of ?time_budget ?(retries = 2) ?checkpoint ~width ~group ~ordering
       (match wire with
       | None -> Formulation.Min_height
       | Some lambda -> Formulation.Min_height_plus_wire lambda);
+    formulation;
     envelope =
       Option.map
         (fun pitch -> { Augment.pitch_h = pitch; pitch_v = pitch; share = 0.5 })
@@ -436,8 +452,8 @@ let report_plan nl pl dt =
 
 let plan_cmd =
   let run input ami33 random seed verbose width group ordering wire envelope
-      nodes jobs candidates time_budget retries checkpoint resume stop_after
-      faults refine slicing engine outline svg ascii lint =
+      nodes formulation jobs candidates time_budget retries checkpoint resume
+      stop_after faults refine slicing engine outline svg ascii lint =
     setup_logs verbose;
     match
       let ( let* ) = Result.bind in
@@ -451,8 +467,8 @@ let plan_cmd =
       1
     | Ok (nl, resume) ->
       let config =
-        config_of ?time_budget ~retries ?checkpoint ~width ~group ~ordering
-          ~wire ~envelope ~nodes ~seed ~jobs ~candidates ()
+        config_of ?time_budget ~retries ?checkpoint ~formulation ~width ~group
+          ~ordering ~wire ~envelope ~nodes ~seed ~jobs ~candidates ()
       in
       let findings = ref [] in
       let config =
@@ -533,10 +549,10 @@ let plan_cmd =
     Term.(
       const run $ input_arg $ ami33_arg $ random_arg $ seed_arg $ verbose_arg
       $ width_arg $ group_arg $ ordering_arg $ objective_arg $ envelope_arg
-      $ nodes_arg $ jobs_arg $ candidates_arg $ time_budget_arg $ retries_arg
-      $ checkpoint_arg $ resume_arg $ stop_after_arg $ faults_arg
-      $ refine_arg $ slicing_arg $ engine_arg $ outline_arg $ svg_arg
-      $ ascii_arg $ lint_arg)
+      $ nodes_arg $ formulation_arg $ jobs_arg $ candidates_arg
+      $ time_budget_arg $ retries_arg $ checkpoint_arg $ resume_arg
+      $ stop_after_arg $ faults_arg $ refine_arg $ slicing_arg $ engine_arg
+      $ outline_arg $ svg_arg $ ascii_arg $ lint_arg)
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Floorplan an instance by successive augmentation")
@@ -558,7 +574,7 @@ let route_cmd =
          & info [ "penalty-off" ] ~doc:"Use the unweighted shortest path.")
   in
   let run input ami33 random seed verbose width group ordering wire envelope
-      nodes jobs candidates pitch penalty penalty_off svg lint =
+      nodes formulation jobs candidates pitch penalty penalty_off svg lint =
     setup_logs verbose;
     match load_instance input ami33 random seed with
     | Error e ->
@@ -566,8 +582,8 @@ let route_cmd =
       1
     | Ok nl ->
       let config =
-        config_of ~width ~group ~ordering ~wire ~envelope ~nodes ~seed ~jobs
-          ~candidates ()
+        config_of ~formulation ~width ~group ~ordering ~wire ~envelope ~nodes
+          ~seed ~jobs ~candidates ()
       in
       let findings = ref [] in
       let config =
@@ -610,8 +626,8 @@ let route_cmd =
     Term.(
       const run $ input_arg $ ami33_arg $ random_arg $ seed_arg $ verbose_arg
       $ width_arg $ group_arg $ ordering_arg $ objective_arg $ envelope_arg
-      $ nodes_arg $ jobs_arg $ candidates_arg $ pitch_arg $ weighted_arg
-      $ penalty_off_arg $ svg_arg $ lint_arg)
+      $ nodes_arg $ formulation_arg $ jobs_arg $ candidates_arg $ pitch_arg
+      $ weighted_arg $ penalty_off_arg $ svg_arg $ lint_arg)
   in
   Cmd.v
     (Cmd.info "route"
@@ -627,7 +643,7 @@ let check_cmd =
                    instead of the human-readable report.")
   in
   let run input ami33 random seed verbose width group ordering wire envelope
-      nodes jobs candidates time_budget retries faults machine =
+      nodes formulation jobs candidates time_budget retries faults machine =
     setup_logs verbose;
     match
       let ( let* ) = Result.bind in
@@ -640,8 +656,8 @@ let check_cmd =
       1
     | Ok nl ->
       let config =
-        config_of ?time_budget ~retries ~width ~group ~ordering ~wire
-          ~envelope ~nodes ~seed ~jobs ~candidates ()
+        config_of ?time_budget ~retries ~formulation ~width ~group ~ordering
+          ~wire ~envelope ~nodes ~seed ~jobs ~candidates ()
       in
       let findings = ref [] in
       let config =
@@ -666,8 +682,8 @@ let check_cmd =
     Term.(
       const run $ input_arg $ ami33_arg $ random_arg $ seed_arg $ verbose_arg
       $ width_arg $ group_arg $ ordering_arg $ objective_arg $ envelope_arg
-      $ nodes_arg $ jobs_arg $ candidates_arg $ time_budget_arg $ retries_arg
-      $ faults_arg $ machine_arg)
+      $ nodes_arg $ formulation_arg $ jobs_arg $ candidates_arg
+      $ time_budget_arg $ retries_arg $ faults_arg $ machine_arg)
   in
   Cmd.v
     (Cmd.info "check"

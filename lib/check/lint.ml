@@ -8,11 +8,12 @@ type context = {
   refine_lp : bool;
   margin : float;
   loose_factor : float;
+  pair_loose_factor : float;
 }
 
 let default_context =
   { slack_binaries = None; refine_lp = true; margin = 0.25;
-    loose_factor = 1e3 }
+    loose_factor = 1e3; pair_loose_factor = 64. }
 
 (* ------------------------------------------------------------------ *)
 (* Interval arithmetic over variable bounds                             *)
@@ -299,9 +300,18 @@ let lp_sup m ~skip_row ~pinned ~lbt ~ubt terms =
   List.iter (fun (c, v) -> Lp_problem.set_obj_coeff lp v c) terms;
   Simplex.solve lp
 
-let bigm_checks ctx m ~is_slack rows lbt ubt =
+let bigm_checks ctx m ~is_slack ~pair_of rows lbt ubt =
   let acc = ref [] in
   let emit d = acc := d :: !acc in
+  (* Rows whose switches all belong to one declared disjunction pair are
+     judged per pair, not per row: every direction of a Choice4 pair is
+     collected here and the pair is flagged once — and only when {e all}
+     its directions are over-wide, since one naturally loose direction
+     (a short module against a tall strip) is expected even under exact
+     per-pair coefficients. *)
+  let pair_rows : (Model.var * Model.var, (string * float) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
   Array.iteri
     (fun ri (row : Lp_problem.constr) ->
       if row.Lp_problem.cmp <> Lp_problem.Eq then
@@ -321,6 +331,11 @@ let bigm_checks ctx m ~is_slack rows lbt ubt =
                 0. slack_terms
             in
             if slack_terms <> [] && rest <> [] && avail > 0. then begin
+              let owning_pair =
+                match List.filter_map (fun (_, v) -> pair_of v) slack_terms with
+                | [] -> None
+                | p :: ps -> if List.for_all (( = ) p) ps then Some p else None
+              in
               let worst_pos_slack =
                 List.fold_left
                   (fun a (c, _) -> if c > 0. then a +. c else a)
@@ -329,8 +344,29 @@ let bigm_checks ctx m ~is_slack rows lbt ubt =
               let sup_rest = sum_sup lbt ubt rest in
               let need = sup_rest +. worst_pos_slack -. rhs in
               let tol = 1e-6 *. Float.max 1. (Float.max (Float.abs rhs) avail) in
-              let subject = row_subject row in
-              if need > tol && avail > ctx.loose_factor *. need then
+              let subject =
+                match owning_pair with
+                | Some (a, b) ->
+                  Printf.sprintf "%s (pair %s/%s)" (row_subject row)
+                    (Model.var_name m a) (Model.var_name m b)
+                | None -> row_subject row
+              in
+              (match owning_pair with
+              | Some p when need > tol ->
+                let entries =
+                  match Hashtbl.find_opt pair_rows p with
+                  | Some r -> r
+                  | None ->
+                    let r = ref [] in
+                    Hashtbl.add pair_rows p r;
+                    r
+                in
+                entries := (row.Lp_problem.cname, avail /. need) :: !entries
+              | _ -> ());
+              if
+                need > tol && owning_pair = None
+                && avail > ctx.loose_factor *. need
+              then
                 emit
                   (D.make ~code:"ML009" ~severity:D.Warning ~subject
                      "big-M deactivation capacity %g is %.0fx the required \
@@ -388,6 +424,28 @@ let bigm_checks ctx m ~is_slack rows lbt ubt =
             end)
           (le_views row))
     rows;
+  (* Per-pair over-wide verdicts, deterministically ordered by pair. *)
+  Hashtbl.fold (fun p entries l -> (p, !entries) :: l) pair_rows []
+  |> List.sort compare
+  |> List.iter (fun ((a, b), entries) ->
+         let over = List.for_all (fun (_, r) -> r > ctx.pair_loose_factor) in
+         if entries <> [] && over entries then begin
+           let worst_row, worst =
+             List.fold_left
+               (fun (wn, wr) (n, r) -> if r > wr then (n, r) else (wn, wr))
+               (List.hd entries) (List.tl entries)
+           in
+           emit
+             (D.make ~code:"ML009" ~severity:D.Warning
+                ~subject:
+                  (Printf.sprintf "pair %s/%s" (Model.var_name m a)
+                     (Model.var_name m b))
+                "all %d big-M rows of this disjunction pair are over-wide \
+                 (worst %.0fx the required span, row %s); per-pair \
+                 coefficients from current bounds would strengthen the \
+                 relaxation"
+                (List.length entries) worst worst_row)
+         end);
   !acc
 
 (* ------------------------------------------------------------------ *)
@@ -445,10 +503,17 @@ let model ?(context = default_context) m =
         | Some l -> l
         | None -> List.concat_map (fun (a, b) -> [ a; b ]) (Model.pairs m));
       let is_slack v = Hashtbl.mem slack_set v in
+      let pair_owner = Hashtbl.create 16 in
+      List.iter
+        (fun (a, b) ->
+          Hashtbl.replace pair_owner a (a, b);
+          Hashtbl.replace pair_owner b (a, b))
+        (Model.pairs m);
+      let pair_of v = Hashtbl.find_opt pair_owner v in
       let lbt = Array.copy lb and ubt = Array.copy ub in
       tighten_bounds ~is_slack rows lbt ubt;
       if Array.for_all2 (fun l u -> l <= u) lbt ubt then
-        bigm_checks context m ~is_slack rows lbt ubt
+        bigm_checks context m ~is_slack ~pair_of rows lbt ubt
       else []
     end
   in

@@ -42,7 +42,18 @@ type context = {
   loose_factor : float;
       (** A big-M is flagged as needlessly large (conditioning warning)
           when its deactivation capacity exceeds this multiple of the
-          required span (default [1e3]). *)
+          required span (default [1e3]).  Applies to rows whose switches
+          belong to no declared disjunction pair; pair-owned rows use
+          {!field-pair_loose_factor} instead. *)
+  pair_loose_factor : float;
+      (** Per-pair over-wide threshold (default [64.]): a declared
+          disjunction pair is flagged (one ML009 for the pair, naming its
+          worst row) only when {e every} direction row of the pair
+          exceeds this multiple of its required span — a single loose
+          direction is normal even under exact per-pair coefficients,
+          while all four loose means the constants ignore the pair's
+          actual geometry.  The [tight]/[cuts] formulations' per-pair
+          big-Ms lint clean here; an oversized global-M model does not. *)
 }
 
 val default_context : context

@@ -37,6 +37,9 @@ type step_stat = {
   pivots : int;
   shadow_pivots : int;
   refactorizations : int;
+  cuts_added : int;
+  cuts_purged : int;
+  separation_time : float;
   warm_height : float;
   step_height : float;
   step_time : float;
@@ -57,6 +60,7 @@ type config = {
   group_size : int;
   ordering : [ `Linear | `Random of int | `Area_desc ];
   objective : Formulation.objective;
+  formulation : Formulation.mode;
   allow_rotation : bool;
   linearization : Formulation.linearization;
   use_covering : bool;
@@ -82,6 +86,7 @@ let default_config =
     group_size = 4;
     ordering = `Linear;
     objective = Formulation.Min_height;
+    formulation = Formulation.Basic;
     allow_rotation = true;
     linearization = Formulation.Secant;
     use_covering = true;
@@ -140,6 +145,16 @@ let config_digest cfg =
   (match cfg.objective with
   | Formulation.Min_height -> p "obj:height;"
   | Formulation.Min_height_plus_wire lambda -> p "obj:wire:%h;" lambda);
+  (* Emitted only when non-default, so digests of basic-formulation
+     configs match the ones journals recorded before the field existed.
+     The cut knobs shape the trajectory only in [Cuts] mode, so they are
+     digested only there. *)
+  (match cfg.formulation with
+  | Formulation.Basic -> ()
+  | Formulation.Tight -> p "form:tight;"
+  | Formulation.Cuts ->
+    p "form:cuts:%d:%d;" cfg.milp.Branch_bound.cut_rounds
+      cfg.milp.Branch_bound.cuts_per_round);
   p "rot:%b;" cfg.allow_rotation;
   p "lin:%s;"
     (match cfg.linearization with
@@ -263,7 +278,8 @@ let no_outcome =
   {
     Branch_bound.status = Branch_bound.No_solution; best = None; nodes = 0;
     lp_solves = 0; warm_hits = 0; cold_solves = 0; refactorizations = 0;
-    pivots = 0; shadow_pivots = 0; numerical_recoveries = 0; tasks_lost = 0;
+    pivots = 0; shadow_pivots = 0; numerical_recoveries = 0;
+    cuts_added = 0; cuts_purged = 0; separation_time = 0.; tasks_lost = 0;
     root_bound = nan; elapsed = 0.;
     per_domain = [||]; frontier_tasks = 0; waves = 0;
   }
@@ -367,6 +383,23 @@ let evaluate cfg nl ~chip_width ~skyline ~placement ~pool ~mode group =
       ~allow_rotation:cfg.allow_rotation ~linearization:cfg.linearization items
   in
   let warm_height = Warm_start.height_after ~skyline:obstacle_sky warm in
+  (* Incumbent clamp (Tight / Cuts): the warm packing is a feasible
+     placement of height [warm_height], so when height alone is
+     optimized no solution worth finding exceeds it — shrinking the
+     chip-height variable's bound to the incumbent is then free, and it
+     is the single strongest input to the per-pair big-M computation:
+     every vertical M is capped by the height bound, so the whole
+     vertical relaxation tightens with it.  Unsafe under a wirelength
+     term or critical-net bounds (the optimum may trade height up), so
+     those keep the free bound.  The warm point itself stays feasible
+     at equality, and the warm skyline dominates every obstacle top and
+     item minimum height, so the model stays well-posed. *)
+  let height_bound =
+    match (cfg.formulation, cfg.objective, cfg.critical_net_bound) with
+    | (Formulation.Tight | Formulation.Cuts), Formulation.Min_height, None ->
+      Float.min height_bound warm_height
+    | _ -> height_bound
+  in
   let wire_context =
     match (cfg.objective, cfg.critical_net_bound) with
     | Formulation.Min_height, None -> None
@@ -376,6 +409,7 @@ let evaluate cfg nl ~chip_width ~skyline ~placement ~pool ~mode group =
   in
   let built =
     Formulation.build ~chip_width ~height_bound ~objective:cfg.objective
+      ~formulation:cfg.formulation
       ~allow_rotation:cfg.allow_rotation ~linearization:cfg.linearization
       ~fixed:obstacles ?wire_context ?net_length_bound:cfg.critical_net_bound
       ~check:cfg.check (Array.to_list items)
@@ -407,6 +441,8 @@ let evaluate cfg nl ~chip_width ~skyline ~placement ~pool ~mode group =
       Fault.trip site_candidate;
       let outcome =
         Branch_bound.solve ~params:milp ?warm:warm_sol ?pool
+          ?cutter:(Formulation.separator built)
+          ~cut_pool:built.Formulation.cut_candidates
           built.Formulation.model
       in
       if outcome.Branch_bound.numerical_recoveries > 0 then
@@ -605,6 +641,9 @@ let run ?(config = default_config) ?resume ?pool:shared_pool nl =
         pivots = outcome.Branch_bound.pivots;
         shadow_pivots = outcome.Branch_bound.shadow_pivots;
         refactorizations = outcome.Branch_bound.refactorizations;
+        cuts_added = outcome.Branch_bound.cuts_added;
+        cuts_purged = outcome.Branch_bound.cuts_purged;
+        separation_time = outcome.Branch_bound.separation_time;
         warm_height = e.e_warm_height;
         step_height = Skyline.max_height !skyline;
         step_time = Unix.gettimeofday () -. step_start;
@@ -743,7 +782,12 @@ let run ?(config = default_config) ?resume ?pool:shared_pool nl =
          let base_milp =
            { cfg.milp with
              Branch_bound.time_limit =
-               Float.min cfg.milp.Branch_bound.time_limit share }
+               Float.min cfg.milp.Branch_bound.time_limit share;
+             (* Node-entry interval propagation rides the strengthened
+                formulations: it needs no formulation support itself, but
+                gating it keeps the default [Basic] trajectory (and its
+                recorded benchmarks) bit-identical. *)
+             propagate = cfg.formulation <> Formulation.Basic }
          in
          let rec attempt k =
            let milp = escalate base_milp k ~deadline_left in

@@ -2,6 +2,7 @@ module Rect = Fp_geometry.Rect
 module Tol = Fp_geometry.Tol
 module Model = Fp_milp.Model
 module Expr = Fp_milp.Expr
+module Branch_bound = Fp_milp.Branch_bound
 module Module_def = Fp_netlist.Module_def
 module Net = Fp_netlist.Net
 module Netlist = Fp_netlist.Netlist
@@ -9,6 +10,19 @@ module Netlist = Fp_netlist.Netlist
 type linearization = Tangent | Secant
 
 type objective = Min_height | Min_height_plus_wire of float
+
+type mode = Basic | Tight | Cuts
+
+let mode_to_string = function
+  | Basic -> "basic"
+  | Tight -> "tight"
+  | Cuts -> "cuts"
+
+let mode_of_string = function
+  | "basic" -> Some Basic
+  | "tight" -> Some Tight
+  | "cuts" -> Some Cuts
+  | _ -> None
 
 type item = {
   def : Module_def.t;
@@ -43,6 +57,15 @@ type net_info = {
   pin_exprs : (Expr.t * Expr.t) list;
 }
 
+type sep_row = {
+  sr_row : int;        (* row index in the underlying problem *)
+  sr_lhs : Expr.t;     (* extent of the pushed object *)
+  sr_rhs : Expr.t;     (* position of the blocking object *)
+  sr_slack : Expr.t;   (* 0 when the relation is selected, >= 1 otherwise *)
+  sr_cap : float;      (* direction cap: chip width or height bound *)
+  mutable sr_m : float; (* current big-M coefficient (monotone nonincreasing) *)
+}
+
 type built = {
   model : Model.t;
   chip_width : float;
@@ -59,6 +82,9 @@ type built = {
   net_infos : net_info list;
   fixed : Rect.t list;
   linearization : linearization;
+  formulation : mode;
+  sep_rows : sep_row list;
+  cut_candidates : Branch_bound.cut list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -149,46 +175,85 @@ type obj_geom = {
   oh : Expr.t;
 }
 
+(* Interval of an affine expression under the problem's current variable
+   bounds — the basis for per-pair big-M coefficients. *)
+let expr_interval prob e =
+  List.fold_left
+    (fun (lo, hi) ((c, v) : Fp_lp.Lp_problem.term) ->
+      let l = Fp_lp.Lp_problem.var_lb prob v
+      and u = Fp_lp.Lp_problem.var_ub prob v in
+      if Tol.lt c 0. then (lo +. (c *. u), hi +. (c *. l))
+      else (lo +. (c *. l), hi +. (c *. u)))
+    (Expr.constant e, Expr.constant e)
+    (Expr.terms e)
+
 (* Emit the active form of one separation constraint with an additional
-   big-M slack expression (Expr.zero for an always-active constraint). *)
-let emit_rel model ~bigw ~bigh gi gj rel slack =
+   big-M slack expression (Expr.zero for an always-active constraint).
+   Without [record] (the basic formulation) the coefficient is the
+   direction cap itself — chip width or height bound, the paper's W.
+   With [record] (tight / cuts) it is the per-pair, per-direction value
+
+     M = max 0 (min cap (min (ub lhs) cap - lb rhs))
+
+   from the current variable bounds; [ub lhs] is additionally capped by
+   [cap] because the chip rows bound every extent by the strip, which
+   makes M exact against fixed obstacles (M = W - r.x for "left of a
+   rectangle at x = r.x").  Any feasible point has lhs <= cap and
+   rhs >= lb rhs, so lhs - rhs <= M and the inactive row (slack >= 1)
+   cuts nothing — validity is preserved per pair.  The emitted row is
+   recorded for later monotone re-tightening ({!retighten}); when M
+   collapses to 0 the relation is unconditional, the slack term
+   vanishes, and the row may fold into a bound (nothing recorded). *)
+let emit_rel model ~bigw ~bigh ?record gi gj rel slack =
   let open Expr in
+  let emit lhs rhs cap =
+    match record with
+    | Some record when terms slack <> [] ->
+      let prob = Model.problem model in
+      let _, ub_l = expr_interval prob lhs in
+      let lb_r, _ = expr_interval prob rhs in
+      let m = Float.max 0. (Float.min cap (Float.min ub_l cap -. lb_r)) in
+      let row = Model.num_constrs model in
+      Model.add_constr_or_bound model lhs Model.Le (rhs + (m * slack));
+      if Model.num_constrs model > row then
+        record
+          { sr_row = row; sr_lhs = lhs; sr_rhs = rhs; sr_slack = slack;
+            sr_cap = cap; sr_m = m }
+    | _ -> Model.add_constr_or_bound model lhs Model.Le (rhs + (cap * slack))
+  in
   match rel with
   | Rel_left ->
     (* x_i + w_i <= x_j + slack * W *)
-    Model.add_constr_or_bound model (gi.ox + gi.ow) Model.Le (gj.ox + (bigw * slack))
-  | Rel_right ->
-    Model.add_constr_or_bound model (gj.ox + gj.ow) Model.Le (gi.ox + (bigw * slack))
-  | Rel_below ->
-    Model.add_constr_or_bound model (gi.oy + gi.oh) Model.Le (gj.oy + (bigh * slack))
-  | Rel_above ->
-    Model.add_constr_or_bound model (gj.oy + gj.oh) Model.Le (gi.oy + (bigh * slack))
+    emit (gi.ox + gi.ow) gj.ox bigw
+  | Rel_right -> emit (gj.ox + gj.ow) gi.ox bigw
+  | Rel_below -> emit (gi.oy + gi.oh) gj.oy bigh
+  | Rel_above -> emit (gj.oy + gj.oh) gi.oy bigh
 
 (* Non-overlap of objects i and j restricted to the geometrically
    possible relations.  Returns the separation encoding used. *)
-let add_separation model ~bigw ~bigh ~tag gi gj allowed =
+let add_separation model ~bigw ~bigh ?record ~tag gi gj allowed =
   let open Expr in
   match allowed with
   | [] ->
     invalid_arg
       (Printf.sprintf "Formulation: no feasible relation for pair %s" tag)
   | [ r ] ->
-    emit_rel model ~bigw ~bigh gi gj r Expr.zero;
+    emit_rel model ~bigw ~bigh ?record gi gj r Expr.zero;
     Fixed_rel r
   | [ r0; r1 ] ->
     let bin = Model.add_binary model (Printf.sprintf "s_%s" tag) in
-    emit_rel model ~bigw ~bigh gi gj r0 (var bin);
-    emit_rel model ~bigw ~bigh gi gj r1 (const 1. - var bin);
+    emit_rel model ~bigw ~bigh ?record gi gj r0 (var bin);
+    emit_rel model ~bigw ~bigh ?record gi gj r1 (const 1. - var bin);
     Choice2 { bin; if0 = r0; if1 = r1 }
   | _ ->
     let bx = Model.add_binary model (Printf.sprintf "px_%s" tag) in
     let by = Model.add_binary model (Printf.sprintf "py_%s" tag) in
     Model.declare_pair model bx by;
     (* Slack multipliers from the paper's eq. (2). *)
-    emit_rel model ~bigw ~bigh gi gj Rel_left (var bx + var by);
-    emit_rel model ~bigw ~bigh gi gj Rel_right (const 1. - var bx + var by);
-    emit_rel model ~bigw ~bigh gi gj Rel_below (const 1. + var bx - var by);
-    emit_rel model ~bigw ~bigh gi gj Rel_above (const 2. - var bx - var by);
+    emit_rel model ~bigw ~bigh ?record gi gj Rel_left (var bx + var by);
+    emit_rel model ~bigw ~bigh ?record gi gj Rel_right (const 1. - var bx + var by);
+    emit_rel model ~bigw ~bigh ?record gi gj Rel_below (const 1. + var bx - var by);
+    emit_rel model ~bigw ~bigh ?record gi gj Rel_above (const 2. - var bx - var by);
     (* Cut off geometrically impossible combinations. *)
     List.iter
       (fun r ->
@@ -265,10 +330,265 @@ let self_check (b : built) =
           fi (Rect.to_string r))
     b.fixed
 
+(* ------------------------------------------------------------------ *)
+(* Formulation strengthening (tight / cuts modes)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Recompute every recorded big-M from the current variable bounds,
+   monotonically shrinking it (never growing), and rewrite the row in
+   place.  Returns the number of rows whose coefficient strictly
+   decreased.  Sound whenever bounds have only tightened since the row
+   was emitted — e.g. after later single-variable rows were folded into
+   bounds by {!Model.add_constr_or_bound} / [Lp_problem.tighten_bounds].
+   [build] runs it once at the end for the non-basic modes; the
+   successive-augmentation driver gets the "after each commit" refresh
+   for free because every augmentation step builds afresh against the
+   committed placement. *)
+let retighten b =
+  let prob = Model.problem b.model in
+  let changed = ref 0 in
+  List.iter
+    (fun sr ->
+      let _, ub_l = expr_interval prob sr.sr_lhs in
+      let lb_r, _ = expr_interval prob sr.sr_rhs in
+      let m =
+        Float.max 0. (Float.min sr.sr_m (Float.min ub_l sr.sr_cap -. lb_r))
+      in
+      if Tol.lt m sr.sr_m then begin
+        let row = Expr.(sr.sr_lhs - sr.sr_rhs - (m * sr.sr_slack)) in
+        Fp_lp.Lp_problem.update_constr prob sr.sr_row (Expr.terms row)
+          Fp_lp.Lp_problem.Le (-.Expr.constant row);
+        sr.sr_m <- m;
+        incr changed
+      end)
+    b.sep_rows;
+  !changed
+
+(* Affine indicator of "relation [rel] is the selected disjunct": equals
+   1 at every integer point selecting [rel] and is <= 0 at every other
+   integer point.  The complement of the big-M slack multiplier. *)
+let indicator sep rel =
+  match sep with
+  | Fixed_rel _ -> None
+  | Choice2 { bin; if0; if1 } ->
+    if rel = if0 then Some Expr.(const 1. - var bin)
+    else if rel = if1 then Some (Expr.var bin)
+    else None
+  | Choice4 { bx; by } ->
+    Some
+      (match rel with
+      | Rel_left -> Expr.(const 1. - var bx - var by)
+      | Rel_right -> Expr.(var bx - var by)
+      | Rel_below -> Expr.(var by - var bx)
+      | Rel_above -> Expr.(var bx + var by - const 1.))
+
+(* Affine 0-1 indicator of "this pair is separated vertically" (below or
+   above), used by the clique inequalities. *)
+let vertical_indicator sep =
+  let vert = function Rel_below | Rel_above -> true | Rel_left | Rel_right -> false in
+  match sep with
+  | Fixed_rel r -> Expr.const (if vert r then 1. else 0.)
+  | Choice2 { bin; if0; if1 } -> (
+    match (vert if0, vert if1) with
+    | true, true -> Expr.const 1.
+    | false, false -> Expr.const 0.
+    | true, false -> Expr.(const 1. - var bin)
+    | false, true -> Expr.var bin)
+  | Choice4 { by; _ } -> Expr.var by
+
+let rel_tag = function
+  | Rel_left -> "l"
+  | Rel_right -> "r"
+  | Rel_below -> "b"
+  | Rel_above -> "a"
+
+(* The Huchette-Dey-Vielma-style strengthening family, as named
+   inequalities [expr <= 0] valid for every integer-feasible point:
+
+   - lower-push: the blocking object's position is at least the pushed
+     object's minimum extent whenever the relation is selected,
+     [c * ind <= pos] with [c] the interval lower bound of the extent;
+   - upper-push: the pushed object's extent clears the blocker's minimum
+     size inside the strip, [extent + d * ind <= W] (horizontal) or
+     [extent + d * ind <= height] (vertical, against the height
+     variable — this is what propagates into the objective bound);
+   - cliques: for item triples whose minimum widths cannot share the
+     strip width, at least one of the three pairs must separate
+     vertically ([1 - V_ij - V_ik - V_jk <= 0]); dually at most two may
+     when the minimum heights cannot share the height bound.
+
+   Inequalities vacuous under the current bounds are dropped, as are the
+   fixed-partner variants that the per-pair big-M already encodes
+   exactly (see {!emit_rel}).  Emission order is deterministic —
+   separation in [Cuts] mode must replay bit-identically across
+   domains. *)
+let strengthening_inequalities b ~allow_rotation =
+  let prob = Model.problem b.model in
+  let lb e = fst (expr_interval prob e) and ub e = snd (expr_interval prob e) in
+  let geom k =
+    { ox = Expr.var b.x.(k); oy = Expr.var b.y.(k);
+      ow = b.w_expr.(k); oh = b.h_expr.(k) }
+  in
+  let fixed_arr = Array.of_list b.fixed in
+  let out = ref [] in
+  let emit name e =
+    (* Skip constant and interval-vacuous inequalities. *)
+    if Expr.terms e <> [] && Tol.gt (ub e) 0. then out := (name, e) :: !out
+  in
+  List.iter
+    (fun (i, other, s) ->
+      let gi = geom i in
+      let gj, tag, item_pair =
+        match other with
+        | Other_item j -> (geom j, Printf.sprintf "i%d_i%d" i j, true)
+        | Other_fixed fi ->
+          ( { ox = Expr.const fixed_arr.(fi).Rect.x;
+              oy = Expr.const fixed_arr.(fi).Rect.y;
+              ow = Expr.const fixed_arr.(fi).Rect.w;
+              oh = Expr.const fixed_arr.(fi).Rect.h },
+            Printf.sprintf "i%d_f%d" i fi, false )
+      in
+      List.iter
+        (fun rel ->
+          match indicator s rel with
+          | None -> ()
+          | Some ind ->
+            let open Expr in
+            if item_pair then begin
+              let target, c =
+                match rel with
+                | Rel_left -> (gj.ox, lb (gi.ox + gi.ow))
+                | Rel_right -> (gi.ox, lb (gj.ox + gj.ow))
+                | Rel_below -> (gj.oy, lb (gi.oy + gi.oh))
+                | Rel_above -> (gi.oy, lb (gj.oy + gj.oh))
+              in
+              if Tol.gt c 0. then
+                emit
+                  (Printf.sprintf "vi_lo_%s_%s" tag (rel_tag rel))
+                  ((c * ind) - target)
+            end;
+            let upper =
+              match rel with
+              | Rel_left when item_pair ->
+                let d = Float.max (lb gj.ow) (b.chip_width -. ub gj.ox) in
+                Some (gi.ox + gi.ow, d, const b.chip_width)
+              | Rel_right when item_pair ->
+                let d = Float.max (lb gi.ow) (b.chip_width -. ub gi.ox) in
+                Some (gj.ox + gj.ow, d, const b.chip_width)
+              | Rel_below -> Some (gi.oy + gi.oh, lb gj.oh, var b.height)
+              | Rel_above -> Some (gj.oy + gj.oh, lb gi.oh, var b.height)
+              | Rel_left | Rel_right -> None
+            in
+            (match upper with
+            | Some (extent, d, cap) when Tol.gt d 0. ->
+              emit
+                (Printf.sprintf "vi_hi_%s_%s" tag (rel_tag rel))
+                (extent + (d * ind) - cap)
+            | _ -> ()))
+        all_rels)
+    b.seps;
+  (* Pairwise stacking and clique inequalities over the vertical
+     indicators. *)
+  let pair_sep = Hashtbl.create 16 in
+  List.iter
+    (fun (i, other, s) ->
+      match other with
+      | Other_item j -> Hashtbl.replace pair_sep (Int.min i j, Int.max i j) s
+      | Other_fixed _ -> ())
+    b.seps;
+  let n = Array.length b.items in
+  let wmin = Array.map (item_min_width ~allow_rotation) b.items in
+  let hmin = Array.map (item_min_height ~allow_rotation) b.items in
+  (* Stacking: a vertically separated pair occupies at least the sum of
+     its minimum heights, [height >= maxh + (hmin_i + hmin_j - maxh) V].
+     Valid at V = 0 because each item alone forces [height >= hmin]
+     through its chip row, at V = 1 because the pair is stacked, and in
+     between because the bound is affine in V.  This is the family that
+     lifts the LP objective bound directly — the big-M disjunctions
+     alone let fractional indicators collapse every stack. *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      match Hashtbl.find_opt pair_sep (i, j) with
+      | None -> ()
+      | Some s ->
+        let maxh = Float.max hmin.(i) hmin.(j) in
+        let lift = hmin.(i) +. hmin.(j) -. maxh in
+        if Tol.gt lift 0. then
+          emit
+            (Printf.sprintf "vi_stk_i%d_i%d" i j)
+            Expr.(
+              const maxh + (lift * vertical_indicator s) - var b.height)
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      for k = j + 1 to n - 1 do
+        match
+          ( Hashtbl.find_opt pair_sep (i, j),
+            Hashtbl.find_opt pair_sep (i, k),
+            Hashtbl.find_opt pair_sep (j, k) )
+        with
+        | Some sij, Some sik, Some sjk ->
+          let vsum =
+            Expr.(
+              vertical_indicator sij + vertical_indicator sik
+              + vertical_indicator sjk)
+          in
+          if Tol.gt (wmin.(i) +. wmin.(j) +. wmin.(k)) b.chip_width then
+            emit
+              (Printf.sprintf "vi_clqw_i%d_i%d_i%d" i j k)
+              Expr.(const 1. - vsum);
+          if Tol.gt (hmin.(i) +. hmin.(j) +. hmin.(k)) b.height_bound then
+            emit
+              (Printf.sprintf "vi_clqh_i%d_i%d_i%d" i j k)
+              Expr.(vsum - const 2.)
+        | _ -> ()
+      done
+    done
+  done;
+  List.rev !out
+
+(* How far a candidate must be violated before it is worth a row.  Kept
+   above the simplex primal-feasibility tolerance so a cut already
+   present in the LP (satisfied to 1e-7 by the relaxation point) is
+   never re-separated. *)
+let cut_violation_tol = 1e-6
+
+(* Deterministic separation callback over the precompiled candidate
+   pool: violated candidates, most violated first, ties broken by
+   compilation order.  [None] unless the formulation is [Cuts] with a
+   nonempty pool — the basic and tight modes run plain branch and
+   bound. *)
+let separator b =
+  match (b.formulation, b.cut_candidates) with
+  | (Basic | Tight), _ | _, [] -> None
+  | Cuts, cands ->
+    let cands = Array.of_list cands in
+    Some
+      (fun xpt ->
+        let violated = ref [] in
+        Array.iteri
+          (fun idx (c : Branch_bound.cut) ->
+            let lhs =
+              List.fold_left
+                (fun acc (co, v) -> acc +. (co *. xpt.(v)))
+                0. c.Branch_bound.cut_terms
+            in
+            let v = lhs -. c.Branch_bound.cut_rhs in
+            if Tol.gt ~tol:cut_violation_tol v 0. then
+              violated := (v, idx) :: !violated)
+          cands;
+        !violated
+        |> List.sort (fun (v1, i1) (v2, i2) ->
+               match Float.compare v2 v1 with
+               | 0 -> Int.compare i1 i2
+               | c -> c)
+        |> List.map (fun (_, idx) -> cands.(idx)))
+
 let build ~chip_width ~height_bound ?(objective = Min_height)
     ?(allow_rotation = true) ?(linearization = Secant) ?(fixed = [])
-    ?wire_context ?(net_length_bound = fun _ -> None) ?(check = false)
-    item_list =
+    ?(formulation = Basic) ?wire_context
+    ?(net_length_bound = fun _ -> None) ?(check = false) item_list =
   let items = Array.of_list item_list in
   let n = Array.length items in
   let model = Model.create ~name:"floorplan_step" () in
@@ -357,6 +677,12 @@ let build ~chip_width ~height_bound ?(objective = Min_height)
     items;
   (* Separations: item-item pairs. *)
   let seps = ref [] in
+  let sep_rows = ref [] in
+  let record =
+    match formulation with
+    | Basic -> None
+    | Tight | Cuts -> Some (fun sr -> sep_rows := sr :: !sep_rows)
+  in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
       let wi = item_min_width ~allow_rotation items.(i)
@@ -373,8 +699,8 @@ let build ~chip_width ~height_bound ?(objective = Min_height)
       in
       let tag = Printf.sprintf "i%d_i%d" i j in
       let s =
-        add_separation model ~bigw:chip_width ~bigh:height_bound ~tag (geom i)
-          (geom j) allowed
+        add_separation model ~bigw:chip_width ~bigh:height_bound ?record ~tag
+          (geom i) (geom j) allowed
       in
       seps := (i, Other_item j, s) :: !seps
     done
@@ -397,7 +723,7 @@ let build ~chip_width ~height_bound ?(objective = Min_height)
         in
         let tag = Printf.sprintf "i%d_f%d" i fi in
         let s =
-          add_separation model ~bigw:chip_width ~bigh:height_bound ~tag
+          add_separation model ~bigw:chip_width ~bigh:height_bound ?record ~tag
             (geom i) (fixed_geom r) allowed
         in
         seps := (i, Other_fixed fi, s) :: !seps
@@ -498,11 +824,82 @@ let build ~chip_width ~height_bound ?(objective = Min_height)
   in
   Model.set_objective model `Minimize
     Expr.(var height + (lambda * wire_term));
-  let b =
+  let b0 =
     {
       model; chip_width; height_bound; items; x; y; rot; flex; w_expr; h_expr;
       height; seps = List.rev !seps; net_infos; fixed; linearization;
+      formulation; sep_rows = List.rev !sep_rows; cut_candidates = [];
     }
+  in
+  let b =
+    match formulation with
+    | Basic -> b0
+    | Tight | Cuts -> (
+      (* Root presolve: one interval-propagation pass over the finished
+         rows shrinks variable boxes (every integer-feasible point
+         survives; integer snapping may cut LP-only points, which only
+         strengthens the relaxation), and the per-pair big-M refresh
+         below then reads those smaller boxes.  Bounds may also have
+         tightened since the separation rows were emitted (later
+         single-variable rows fold into bounds); either way every
+         per-pair M is recomputed against the final bounds before the
+         strengthening family is derived from those same bounds. *)
+      let prob = Model.problem model in
+      let ints = Array.make (Fp_lp.Lp_problem.num_vars prob) false in
+      List.iter (fun v -> ints.(v) <- true) (Model.integer_vars model);
+      (match
+         Fp_lp.Lp_problem.propagate_bounds
+           ~integral:(fun v -> v < Array.length ints && ints.(v))
+           prob
+       with
+      | `Ok _ -> ()
+      | `Infeasible undo ->
+        (* Propagation proved the step infeasible; restore so the MILP
+           reports it through its normal (certified) path. *)
+        List.iter
+          (fun (v, lb, ub) -> Fp_lp.Lp_problem.set_bounds prob v ~lb ~ub)
+          undo);
+      ignore (retighten b0 : int);
+      let ineqs = strengthening_inequalities b0 ~allow_rotation in
+      match formulation with
+      | Basic -> assert false
+      | Tight ->
+        (* Static strengthening: the family joins the base LP. *)
+        List.iter
+          (fun (name, e) ->
+            Model.add_constr_or_bound model ~name e Model.Le Expr.zero)
+          ineqs;
+        b0
+      | Cuts ->
+        (* Split the family: the per-direction lower/upper pushes shape
+           the LP vertex the search branches on, and their effect shows
+           up even when the relaxation sits at an integral-but-unfixed
+           point the separator cannot see past — so they join the base
+           LP up front.  The stacking / clique rows, by contrast, are
+           cheap to check against a point and mostly vacuous once the
+           area bound dominates, which is exactly the profile that suits
+           lazy separation: they become the cut pool for the
+           branch-and-bound loop (and, vacuous or not, still join node
+           bound propagation from there). *)
+        let is_bound_lifting (name, _) =
+          String.length name >= 6 && String.sub name 0 6 = "vi_stk"
+          || String.length name >= 7 && String.sub name 0 7 = "vi_clqw"
+          || String.length name >= 7 && String.sub name 0 7 = "vi_clqh"
+        in
+        let lazy_rows, static_rows = List.partition is_bound_lifting ineqs in
+        List.iter
+          (fun (name, e) ->
+            Model.add_constr_or_bound model ~name e Model.Le Expr.zero)
+          static_rows;
+        { b0 with
+          cut_candidates =
+            List.map
+              (fun (name, e) ->
+                { Branch_bound.cut_name = name;
+                  cut_terms = Expr.terms e;
+                  cut_rhs = -.Expr.constant e })
+              lazy_rows;
+        })
   in
   if check then self_check b;
   b

@@ -27,8 +27,33 @@
 module Rect = Fp_geometry.Rect
 module Model = Fp_milp.Model
 module Expr = Fp_milp.Expr
+module Branch_bound = Fp_milp.Branch_bound
 
 type linearization = Tangent | Secant
+
+type mode = Basic | Tight | Cuts
+(** Formulation-strengthening mode.
+
+    - [Basic]: the paper's formulation verbatim — every big-M coefficient
+      is the direction cap (chip width / height bound).  Bit-identical to
+      the historical behavior; the default.
+    - [Tight]: per-pair, per-direction big-M derived from variable bounds
+      ({!retighten}), plus the whole static valid-inequality family
+      (lower/upper pushes, stacking, clique inequalities) appended to the
+      base LP.  Both strengthened modes also run interval bound
+      propagation: once on the root problem here, and at every
+      branch-and-bound node via [Branch_bound.params.propagate].
+    - [Cuts]: per-pair big-M as in [Tight]; the push rows (which shape
+      the LP vertex the search branches on) stay static, while the
+      stacking / clique rows are compiled into a candidate pool and
+      separated lazily at branch-and-bound nodes ({!separator}).  Pool
+      rows also join node bound propagation before they are ever priced
+      into the LP. *)
+
+val mode_to_string : mode -> string
+(** ["basic" | "tight" | "cuts"] — CLI / bench / digest spelling. *)
+
+val mode_of_string : string -> mode option
 
 type objective =
   | Min_height
@@ -72,6 +97,20 @@ type net_info = {
   pin_exprs : (Expr.t * Expr.t) list;
 }
 
+type sep_row = {
+  sr_row : int;         (** row index in the underlying {!Fp_lp.Lp_problem} *)
+  sr_lhs : Expr.t;      (** extent of the pushed object *)
+  sr_rhs : Expr.t;      (** position of the blocking object *)
+  sr_slack : Expr.t;    (** 0 when the relation is selected, >= 1 otherwise *)
+  sr_cap : float;       (** direction cap: chip width or height bound *)
+  mutable sr_m : float; (** current big-M coefficient; only ever shrinks *)
+}
+(** One recorded big-M separation row, [sr_lhs <= sr_rhs + sr_m * sr_slack],
+    re-tightenable in place via {!retighten}.  Recorded only by the
+    [Tight] / [Cuts] modes, and only when a real row was emitted (an M
+    that collapses to 0 makes the relation unconditional and the row may
+    fold into a variable bound instead). *)
+
 type built = {
   model : Model.t;
   chip_width : float;
@@ -88,6 +127,11 @@ type built = {
   net_infos : net_info list;
   fixed : Rect.t list;
   linearization : linearization;
+  formulation : mode;
+  sep_rows : sep_row list;
+      (** recorded big-M rows ([Tight] / [Cuts] modes; empty in [Basic]) *)
+  cut_candidates : Branch_bound.cut list;
+      (** precompiled separation pool ([Cuts] mode; empty otherwise) *)
 }
 
 val build :
@@ -97,12 +141,16 @@ val build :
   ?allow_rotation:bool ->
   ?linearization:linearization ->
   ?fixed:Rect.t list ->
+  ?formulation:mode ->
   ?wire_context:Fp_netlist.Netlist.t * Placement.t * int array ->
   ?net_length_bound:(Fp_netlist.Net.t -> float option) ->
   ?check:bool ->
   item list ->
   built
 (** [build ~chip_width ~height_bound items] assembles the model.
+
+    [formulation] (default [Basic]) selects the strengthening mode; see
+    {!mode}.  [Basic] emits exactly the historical model.
 
     [wire_context = (netlist, partial_placement, module_ids)] supplies
     what the wirelength term needs: [module_ids.(k)] is the netlist id of
@@ -122,6 +170,23 @@ val build :
     @raise Invalid_argument if an item cannot fit the strip width, if
     [height_bound] is too small for any item, or if a wire objective is
     requested without [wire_context]. *)
+
+val retighten : built -> int
+(** Recompute every recorded per-pair big-M from the problem's current
+    variable bounds and rewrite the rows in place
+    ({!Fp_lp.Lp_problem.update_constr}).  Monotone: a coefficient only
+    ever shrinks ([min] with its previous value), so repeated calls are
+    sound as long as bounds have only tightened since emission.  Returns
+    the number of rows that changed.  [build] calls it once at the end
+    for the non-basic modes; exposed for the bound-tightening tests and
+    for callers that shrink bounds after building. *)
+
+val separator : built -> Branch_bound.cutter option
+(** Separation callback for {!Fp_milp.Branch_bound.solve} over the
+    precompiled candidate pool: violated candidates, most violated
+    first, ties broken by compilation order — deterministic, so parallel
+    searches replay bit-identically.  [None] unless the formulation is
+    [Cuts] with a nonempty pool. *)
 
 val self_check : built -> unit
 (** Structural self-audit: every item pair and every item–fixed pair must

@@ -100,6 +100,43 @@ let add_constr t ?name terms cmp rhs =
   t.rows.(t.nrows) <- { cname; terms = collapse_terms terms; cmp; rhs };
   t.nrows <- t.nrows + 1
 
+let check_row t i fn =
+  if i < 0 || i >= t.nrows then
+    invalid_arg (Printf.sprintf "Lp_problem.%s: unknown row %d" fn i)
+
+let constr_at t i =
+  check_row t i "constr_at";
+  t.rows.(i)
+
+let update_constr t i terms cmp rhs =
+  check_row t i "update_constr";
+  List.iter (fun (_, v) -> check_var t v "update_constr") terms;
+  t.rows.(i) <- { (t.rows.(i)) with terms = collapse_terms terms; cmp; rhs }
+
+let truncate_constrs t n =
+  if n < 0 || n > t.nrows then
+    invalid_arg (Printf.sprintf "Lp_problem.truncate_constrs: bad count %d" n);
+  t.nrows <- n
+
+let remove_constrs t idxs =
+  match idxs with
+  | [] -> ()
+  | _ ->
+    let keep = Array.make t.nrows true in
+    List.iter
+      (fun i ->
+        check_row t i "remove_constrs";
+        keep.(i) <- false)
+      idxs;
+    let j = ref 0 in
+    for i = 0 to t.nrows - 1 do
+      if keep.(i) then begin
+        t.rows.(!j) <- t.rows.(i);
+        incr j
+      end
+    done;
+    t.nrows <- !j
+
 let set_obj_coeff t v c =
   check_var t v "set_obj_coeff";
   t.vars.(v).obj <- c
@@ -124,6 +161,133 @@ let tighten_bounds t v ~lb ~ub =
     vi.ub <- nub;
     true
   end
+
+(* Row-driven interval propagation (feasibility-based bound tightening,
+   the classic MIP presolve reduction).  For a row [sum a_i x_i <= b],
+   every variable's contribution is bounded below by the other terms'
+   interval minima, which caps it from above:
+
+     a_k x_k <= b - min(sum_{i<>k} a_i x_i).
+
+   [Ge] rows propagate through their negation and [Eq] rows through
+   both.  Sweeps run in row order until a fixpoint or [max_sweeps] —
+   deterministic, which the parallel branch-and-bound's replay relies
+   on.  [integral v] lets the caller snap tightened bounds of integer
+   variables to the enclosed integer range — on 0-1 variables that
+   turns interval reasoning into implication propagation (a binary
+   whose lower bound rises above 0 is fixed to 1), which is where most
+   of the search-tree pruning comes from. *)
+let propagate_bounds ?(max_sweeps = 16) ?(integral = fun _ -> false)
+    ?(extra = [||]) t =
+  let changed = ref [] in
+  (* First-touch undo record per variable, so callers can restore. *)
+  let touched = Hashtbl.create 16 in
+  let infeasible = ref false in
+  let note v =
+    if not (Hashtbl.mem touched v) then begin
+      Hashtbl.add touched v ();
+      changed := (v, t.vars.(v).lb, t.vars.(v).ub) :: !changed
+    end
+  in
+  (* Improvements below this are noise: applying them would churn the
+     fixpoint loop without helping the LP. *)
+  let min_gain = 1e-7 in
+  let progress = ref true in
+  let apply_lb v nlb =
+    let vi = t.vars.(v) in
+    let nlb = if integral v then Float.round (Float.ceil (nlb -. 1e-6)) else nlb in
+    if nlb > vi.lb +. min_gain then begin
+      note v;
+      vi.lb <- nlb;
+      progress := true;
+      if nlb > vi.ub +. 1e-6 then infeasible := true
+    end
+  in
+  let apply_ub v nub =
+    let vi = t.vars.(v) in
+    let nub = if integral v then Float.round (Float.floor (nub +. 1e-6)) else nub in
+    if nub < vi.ub -. min_gain then begin
+      note v;
+      vi.ub <- nub;
+      progress := true;
+      if vi.lb > nub +. 1e-6 then infeasible := true
+    end
+  in
+  (* One direction: [sum terms <= b]. *)
+  let forward terms b =
+    (* Interval minimum of the row, tracking how many contributions are
+       infinite so a single unbounded term still lets the others
+       propagate (inf - inf has no meaning; counting does). *)
+    let finite_sum = ref 0. and n_inf = ref 0 in
+    List.iter
+      (fun (a, v) ->
+        let m = if a > 0. then a *. t.vars.(v).lb else a *. t.vars.(v).ub in
+        if Float.is_finite m then finite_sum := !finite_sum +. m
+        else incr n_inf)
+      terms;
+    List.iter
+      (fun (a, v) ->
+        if a <> 0. then begin
+          let own = if a > 0. then a *. t.vars.(v).lb else a *. t.vars.(v).ub in
+          let rest =
+            if !n_inf = 0 then Some (!finite_sum -. own)
+            else if !n_inf = 1 && not (Float.is_finite own) then
+              Some !finite_sum
+            else None
+          in
+          match rest with
+          | None -> ()
+          | Some rest ->
+            let limit = (b -. rest) /. a in
+            if a > 0. then apply_ub v limit else apply_lb v limit
+        end)
+      terms
+  in
+  let sweep_row row =
+    match row.cmp with
+    | Le -> forward row.terms row.rhs
+    | Ge -> forward (List.map (fun (a, v) -> (-.a, v)) row.terms) (-.row.rhs)
+    | Eq ->
+      forward row.terms row.rhs;
+      forward (List.map (fun (a, v) -> (-.a, v)) row.terms) (-.row.rhs)
+  in
+  let sweeps = ref 0 in
+  while !progress && not !infeasible && !sweeps < max_sweeps do
+    progress := false;
+    incr sweeps;
+    let r = ref 0 in
+    while not !infeasible && !r < t.nrows do
+      sweep_row t.rows.(!r);
+      incr r
+    done;
+    (* [extra] rows join the sweep but not the problem: the MILP layer
+       passes its lazy cut pool here, so propagation sees the full
+       strengthened formulation while the LP stays small. *)
+    let r = ref 0 in
+    while not !infeasible && !r < Array.length extra do
+      sweep_row extra.(!r);
+      incr r
+    done
+  done;
+  if !infeasible then `Infeasible !changed else `Ok !changed
+
+(* Interval of the objective over the current bound box — a valid lower
+   bound on any feasible point's objective, used by the branch-and-bound
+   to prune propagated nodes without an LP solve. *)
+let objective_interval t =
+  let lo = ref 0. and hi = ref 0. in
+  for v = 0 to t.nvars - 1 do
+    let vi = t.vars.(v) in
+    if vi.obj > 0. then begin
+      lo := !lo +. (vi.obj *. vi.lb);
+      hi := !hi +. (vi.obj *. vi.ub)
+    end
+    else if vi.obj < 0. then begin
+      lo := !lo +. (vi.obj *. vi.ub);
+      hi := !hi +. (vi.obj *. vi.lb)
+    end
+  done;
+  (!lo, !hi)
 
 let num_vars t = t.nvars
 let num_constrs t = t.nrows

@@ -437,6 +437,152 @@ let test_assign_warm_rejects_overlap () =
        false
      with Invalid_argument _ -> true)
 
+(* ------------------------ formulation modes ------------------------- *)
+
+(* Solve a built formulation the way production does: propagation and
+   the lazy pool ride the strengthened modes. *)
+let solve_mode built =
+  let params =
+    { BB.default_params with
+      BB.propagate = built.Formulation.formulation <> Formulation.Basic }
+  in
+  BB.solve ~params
+    ?cutter:(Formulation.separator built)
+    ~cut_pool:built.Formulation.cut_candidates built.Formulation.model
+
+let test_modes_agree_on_optimum =
+  (* Basic, tight and cuts are the same integer program in three
+     relaxations: on any instance they must all certify optimal and
+     agree on the optimal height. *)
+  QCheck.Test.make ~name:"formulation modes agree on the optimum" ~count:20
+    QCheck.(list_of_size (Gen.return 3) (pair (int_range 1 4) (int_range 1 4)))
+    (fun dims ->
+      QCheck.assume (dims <> []);
+      let items =
+        List.mapi
+          (fun i (w, h) ->
+            Formulation.plain_item
+              (Module_def.rigid ~id:i ~name:(Printf.sprintf "m%d" i)
+                 ~w:(float_of_int w) ~h:(float_of_int h)))
+          dims
+      in
+      let solve mode =
+        let built =
+          Formulation.build ~chip_width:6. ~height_bound:30. ~check:true
+            ~formulation:mode items
+        in
+        match solve_mode built with
+        | { BB.status = BB.Optimal; best = Some (_, obj); _ } -> obj
+        | _ -> QCheck.Test.fail_report "mode did not reach Optimal"
+      in
+      let b = solve Formulation.Basic in
+      let t = solve Formulation.Tight in
+      let c = solve Formulation.Cuts in
+      Float.abs (b -. t) <= 1e-5 && Float.abs (b -. c) <= 1e-5)
+
+let test_per_pair_m_monotone () =
+  (* Per-pair M starts at most at the direction cap and only shrinks
+     when bounds tighten further. *)
+  let items =
+    List.init 2 (fun i ->
+        Formulation.plain_item
+          (Module_def.rigid ~id:i ~name:(Printf.sprintf "m%d" i) ~w:2. ~h:3.))
+  in
+  let built =
+    Formulation.build ~chip_width:6. ~height_bound:20.
+      ~formulation:Formulation.Tight items
+  in
+  Alcotest.(check bool) "sep rows recorded" true
+    (built.Formulation.sep_rows <> []);
+  List.iter
+    (fun sr ->
+      Alcotest.(check bool) "M <= cap" true
+        (sr.Formulation.sr_m <= sr.Formulation.sr_cap +. 1e-9))
+    built.Formulation.sep_rows;
+  let before =
+    List.map (fun sr -> sr.Formulation.sr_m) built.Formulation.sep_rows
+  in
+  let prob = Fp_milp.Model.problem built.Formulation.model in
+  let h = built.Formulation.height in
+  Fp_lp.Lp_problem.set_bounds prob h ~lb:(Fp_lp.Lp_problem.var_lb prob h)
+    ~ub:8.;
+  ignore (Formulation.retighten built : int);
+  List.iter2
+    (fun m0 sr ->
+      Alcotest.(check bool) "M only shrinks" true
+        (sr.Formulation.sr_m <= m0 +. 1e-9))
+    before built.Formulation.sep_rows
+
+let test_cut_stack_restored () =
+  (* After a cuts-mode solve every appended cut row is truncated again
+     (stack discipline), and the optimum matches basic mode even when
+     the solve needed basis refactorizations along the way. *)
+  let items =
+    List.init 4 (fun i ->
+        Formulation.plain_item
+          (Module_def.rigid ~id:i ~name:(Printf.sprintf "m%d" i)
+             ~w:(float_of_int (1 + (i mod 3)))
+             ~h:(float_of_int (1 + ((i + 1) mod 3)))))
+  in
+  let built =
+    Formulation.build ~chip_width:5. ~height_bound:30.
+      ~formulation:Formulation.Cuts items
+  in
+  let prob = Fp_milp.Model.problem built.Formulation.model in
+  let rows_before = Fp_lp.Lp_problem.num_constrs prob in
+  let out = solve_mode built in
+  Alcotest.(check int) "cut rows truncated" rows_before
+    (Fp_lp.Lp_problem.num_constrs prob);
+  Alcotest.(check bool) "pool compiled" true
+    (built.Formulation.cut_candidates <> []);
+  let basic =
+    solve_mode
+      (Formulation.build ~chip_width:5. ~height_bound:30.
+         ~formulation:Formulation.Basic items)
+  in
+  match (out.BB.best, basic.BB.best) with
+  | Some (_, a), Some (_, b) -> checkf "same optimum as basic" b a
+  | _ -> Alcotest.fail "expected optima from both modes"
+
+let test_augment_modes_match_height () =
+  (* End-to-end: the full augmentation flow reaches the same committed
+     height whatever the formulation mode (same greedy decisions, since
+     every step is solved to optimality on this size). *)
+  let nl =
+    Generator.generate
+      { Generator.default_config with Generator.num_modules = 6; seed = 11 }
+  in
+  let run fm =
+    (Augment.run
+       ~config:{ Augment.default_config with Augment.formulation = fm }
+       nl)
+      .Augment.placement.Placement.height
+  in
+  let b = run Formulation.Basic in
+  checkf "tight height" b (run Formulation.Tight);
+  checkf "cuts height" b (run Formulation.Cuts)
+
+let test_augment_cuts_jobs_deterministic () =
+  (* Parallel replay stays bit-identical in cuts mode: frontier tasks
+     carry propagated bounds and active cut rows. *)
+  let nl =
+    Generator.generate
+      { Generator.default_config with Generator.num_modules = 9; seed = 31 }
+  in
+  let run jobs =
+    (Augment.run
+       ~config:
+         { Augment.default_config with
+           Augment.group_size = 3; jobs; formulation = Formulation.Cuts }
+       nl)
+      .Augment.placement
+  in
+  let ref_pl = run 1 in
+  let pl = run 2 in
+  checkf "height jobs=2" ref_pl.Placement.height pl.Placement.height;
+  Alcotest.(check bool) "identical rects" true
+    (Placement.rects pl = Placement.rects ref_pl)
+
 (* ---------------------------- warm start ---------------------------- *)
 
 let test_warm_start_no_overlap () =
@@ -860,6 +1006,17 @@ let () =
             test_assign_warm_feasible;
           Alcotest.test_case "warm rejects overlap" `Quick
             test_assign_warm_rejects_overlap;
+        ] );
+      ( "modes",
+        [
+          QCheck_alcotest.to_alcotest test_modes_agree_on_optimum;
+          Alcotest.test_case "per-pair M monotone" `Quick
+            test_per_pair_m_monotone;
+          Alcotest.test_case "cut stack restored" `Quick test_cut_stack_restored;
+          Alcotest.test_case "augment modes match height" `Slow
+            test_augment_modes_match_height;
+          Alcotest.test_case "cuts jobs deterministic" `Slow
+            test_augment_cuts_jobs_deterministic;
         ] );
       ( "warm_start",
         [

@@ -304,6 +304,78 @@ let test_lp_format_smoke () =
   Alcotest.(check bool) "half-bounded line" true (contains "-inf <= w <= 5");
   Alcotest.(check bool) "le row" true (contains "<= 7")
 
+(* ---------------------- interval propagation ----------------------- *)
+
+let test_propagate_tightens_and_restores () =
+  let p = Lp.create () in
+  let x = Lp.add_var p ~lb:0. ~ub:10. "x" in
+  let y = Lp.add_var p ~lb:0. ~ub:10. "y" in
+  Lp.add_constr p [ (1., x); (1., y) ] Lp.Le 4.;
+  (match Lp.propagate_bounds p with
+  | `Ok undo ->
+    checkf "x ub" 4. (Lp.var_ub p x);
+    checkf "y ub" 4. (Lp.var_ub p y);
+    Alcotest.(check int) "both touched" 2 (List.length undo);
+    List.iter (fun (v, lb, ub) -> Lp.set_bounds p v ~lb ~ub) undo;
+    checkf "x ub restored" 10. (Lp.var_ub p x);
+    checkf "y ub restored" 10. (Lp.var_ub p y)
+  | `Infeasible _ -> Alcotest.fail "unexpected infeasible")
+
+let test_propagate_integral_snap () =
+  (* 2b >= 1 forces lb(b) = 0.5; integral snapping rounds it to 1. *)
+  let p = Lp.create () in
+  let b = Lp.add_var p ~lb:0. ~ub:1. "b" in
+  Lp.add_constr p [ (2., b) ] Lp.Ge 1.;
+  (match Lp.propagate_bounds ~integral:(fun v -> v = b) p with
+  | `Ok _ ->
+    checkf "b fixed at 1" 1. (Lp.var_lb p b);
+    checkf "b ub" 1. (Lp.var_ub p b)
+  | `Infeasible _ -> Alcotest.fail "unexpected infeasible")
+
+let test_propagate_detects_infeasible () =
+  let p = Lp.create () in
+  let x = Lp.add_var p ~lb:0. ~ub:1. "x" in
+  Lp.add_constr p [ (1., x) ] Lp.Ge 2.;
+  (match Lp.propagate_bounds p with
+  | `Ok _ -> Alcotest.fail "should be infeasible"
+  | `Infeasible undo ->
+    Alcotest.(check bool) "x recorded" true
+      (List.exists (fun (v, _, _) -> v = x) undo))
+
+let test_propagate_extra_rows () =
+  (* The extra row is not part of the problem but still tightens. *)
+  let p = Lp.create () in
+  let x = Lp.add_var p ~lb:0. ~ub:10. "x" in
+  let extra =
+    [| { Lp.cname = "pool"; terms = [ (1., x) ]; cmp = Lp.Le; rhs = 3. } |]
+  in
+  (match Lp.propagate_bounds ~extra p with
+  | `Ok _ ->
+    checkf "x ub from pool row" 3. (Lp.var_ub p x);
+    Alcotest.(check int) "no row added" 0 (Lp.num_constrs p)
+  | `Infeasible _ -> Alcotest.fail "unexpected infeasible")
+
+let test_propagate_chains_rows () =
+  (* x <= 2 (row), then y <= x + 1 must give y <= 3 on the next sweep. *)
+  let p = Lp.create () in
+  let x = Lp.add_var p ~lb:0. ~ub:10. "x" in
+  let y = Lp.add_var p ~lb:0. ~ub:10. "y" in
+  Lp.add_constr p [ (1., x) ] Lp.Le 2.;
+  Lp.add_constr p [ (1., y); (-1., x) ] Lp.Le 1.;
+  (match Lp.propagate_bounds p with
+  | `Ok _ -> checkf "y ub chained" 3. (Lp.var_ub p y)
+  | `Infeasible _ -> Alcotest.fail "unexpected infeasible")
+
+let test_objective_interval () =
+  let p = Lp.create () in
+  let x = Lp.add_var p ~lb:1. ~ub:2. ~obj:2. "x" in
+  let y = Lp.add_var p ~lb:0. ~ub:3. ~obj:(-1.) "y" in
+  ignore x;
+  ignore y;
+  let lo, hi = Lp.objective_interval p in
+  checkf "lo" (-1.) lo;
+  checkf "hi" 4. hi
+
 let () =
   Alcotest.run "fp_lp"
     [
@@ -315,6 +387,17 @@ let () =
           Alcotest.test_case "bad bounds" `Quick test_builder_bad_bounds;
           Alcotest.test_case "tighten bounds" `Quick test_tighten_bounds;
           Alcotest.test_case "violation" `Quick test_violation;
+        ] );
+      ( "propagate",
+        [
+          Alcotest.test_case "tightens and restores" `Quick
+            test_propagate_tightens_and_restores;
+          Alcotest.test_case "integral snap" `Quick test_propagate_integral_snap;
+          Alcotest.test_case "detects infeasible" `Quick
+            test_propagate_detects_infeasible;
+          Alcotest.test_case "extra rows" `Quick test_propagate_extra_rows;
+          Alcotest.test_case "chains rows" `Quick test_propagate_chains_rows;
+          Alcotest.test_case "objective interval" `Quick test_objective_interval;
         ] );
       ( "simplex",
         [
