@@ -210,10 +210,9 @@ let row_metrics row =
 
 let read_file path =
   let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let () =
   let history_path = ref "bench/history.jsonl" in
@@ -242,7 +241,8 @@ let () =
   in
   (if Sys.file_exists !history_path then
      let ic = open_in !history_path in
-     (try
+     Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+     try
         while true do
           let line = input_line ic in
           if String.trim line <> "" then begin
@@ -260,7 +260,6 @@ let () =
           end
         done
       with End_of_file -> ());
-     close_in ic);
   let regressions = ref [] in
   let fresh_lines = ref [] in
   let date =
@@ -326,12 +325,14 @@ let () =
     let oc =
       open_out_gen [ Open_append; Open_creat ] 0o644 !history_path
     in
-    List.iter
-      (fun l ->
-        output_string oc l;
-        output_char oc '\n')
-      (List.rev !fresh_lines);
-    close_out oc;
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        List.iter
+          (fun l ->
+            output_string oc l;
+            output_char oc '\n')
+          (List.rev !fresh_lines));
     Printf.printf "recorded %d rows -> %s\n" (List.length !fresh_lines)
       !history_path
   end

@@ -117,8 +117,9 @@ let write_json exp fields =
     Json.emit buf (Json.Obj (("experiment", Json.Str exp) :: fields));
     Buffer.add_char buf '\n';
     let oc = open_out path in
-    output_string oc (Buffer.contents buf);
-    close_out oc;
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Buffer.contents buf));
     printf "JSON -> %s\n" path
   end
 

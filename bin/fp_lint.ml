@@ -1,30 +1,37 @@
 (* Source-invariant linter driver.
 
    Tree mode (no FILES): lint lib/, bin/, bench/ and examples/ under
-   --root (syntactic rules + the interprocedural SA010-SA012 over the
-   whole-tree call graph), subtract the justification-annotated
-   baseline, and exit non-zero when anything is left:
+   --root (syntactic rules + the interprocedural SA010-SA012 and the
+   typestate SA013-SA017 over the whole-tree call graph), subtract the
+   justification-annotated baseline, and exit non-zero when anything is
+   left:
 
      exit 0 — clean against the baseline
      exit 1 — unbaselined findings (or an unparseable file)
      exit 2 — baseline problems: missing or unreadable baseline file,
               malformed entry, missing justification, or stale entries
-              whose file:line no longer fires (drift)
+              whose file:line no longer fires (drift); also a FILE
+              argument that does not exist or cannot be read
 
    File mode (explicit FILES, used by the corpus tests and the CI
    injection check): lint each file under a forced role (default lib,
-   the strictest) and print every finding; exit 1 when any fire.  The
-   baseline is not consulted in file mode, and the interprocedural
+   the strictest) and print every finding; exit 1 when any fire.  A
+   missing or unreadable FILE is a hard error (exit 2), never a silent
+   pass: the CI self-check loops `if fp_lint $f; then fail` over
+   corpus positives, and a deleted fixture must not vacuously succeed.
+   The baseline is not consulted in file mode, and the cross-file
    rules see only a single-file call graph.
 
    Report artifacts (tree-wide, exit 0, no baseline needed):
 
      --effects        print per-function effect summaries for lib/
                       (committed as docs/effects-summary.md, CI-diffed)
+     --typestate      print per-function protocol summaries for lib/
      --callgraph-dot  print the module-qualified call graph as Graphviz
 
    --sarif FILE additionally writes the findings as SARIF 2.1 (baseline
-   matches become suppressions) in either lint mode.
+   matches become suppressions) in either lint mode.  --verbose prints
+   per-pass wall-clock timings to stderr in tree mode.
 
    See docs/static-analysis.md for the rule catalogue. *)
 
@@ -39,7 +46,9 @@ let () =
   let role = ref "lib" in
   let list_rules = ref false in
   let effects = ref false in
+  let typestate = ref false in
   let callgraph_dot = ref false in
+  let verbose = ref false in
   let sarif = ref "" in
   let files = ref [] in
   let spec =
@@ -60,9 +69,16 @@ let () =
       ( "--effects",
         Arg.Set effects,
         " print the inferred per-function effect summaries (lib/) and exit" );
+      ( "--typestate",
+        Arg.Set typestate,
+        " print the inferred per-function protocol summaries (lib/) and \
+         exit" );
       ( "--callgraph-dot",
         Arg.Set callgraph_dot,
         " print the whole-tree call graph as Graphviz dot and exit" );
+      ( "--verbose",
+        Arg.Set verbose,
+        " print per-pass timings to stderr (tree mode)" );
       ( "--sarif",
         Arg.Set_string sarif,
         "FILE also write findings as SARIF 2.1 (baselined findings become \
@@ -78,20 +94,24 @@ let () =
       Lint.Finding.all_rules;
     exit 0
   end;
-  if !effects then begin
-    print_string (Lint.Driver.effects_report ~root:!root ());
-    exit 0
-  end;
-  if !callgraph_dot then begin
-    print_string (Lint.Driver.callgraph_dot ~root:!root ());
-    exit 0
-  end;
   let die code fmt = Printf.ksprintf (fun m -> prerr_endline m; exit code) fmt in
+  let clock = Unix.gettimeofday in
+  if !effects || !typestate || !callgraph_dot then begin
+    let corpus = Lint.Driver.load_corpus ~clock ~root:!root () in
+    if !effects then
+      print_string (Lint.Driver.effects_report ~corpus ~root:!root ());
+    if !typestate then
+      print_string (Lint.Driver.typestate_report ~corpus ~root:!root ());
+    if !callgraph_dot then
+      print_string (Lint.Driver.callgraph_dot ~corpus ~root:!root ());
+    exit 0
+  end;
   let write_sarif ?(baseline = []) findings =
     if !sarif <> "" then begin
       let oc = open_out !sarif in
-      output_string oc (Lint.Sarif.render ~baseline findings);
-      close_out oc
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Lint.Sarif.render ~baseline findings))
     end
   in
   match List.rev !files with
@@ -105,6 +125,20 @@ let () =
       | "examples" -> Lint.Rules.Examples
       | r -> die 2 "unknown --role %S" r
     in
+    List.iter
+      (fun f ->
+        if not (Sys.file_exists f) then
+          die 2
+            "fp_lint: %s: no such file — file mode lints explicit paths; a \
+             missing file is an error, not a clean result"
+            f
+        else if Sys.is_directory f then
+          die 2 "fp_lint: %s: is a directory (file mode wants .ml files)" f
+        else
+          match open_in_bin f with
+          | ic -> close_in_noerr ic
+          | exception Sys_error m -> die 2 "fp_lint: %s: unreadable: %s" f m)
+      files;
     let findings =
       List.sort_uniq Lint.Finding.compare
         (List.concat_map
@@ -120,11 +154,27 @@ let () =
       if !baseline <> "" then !baseline
       else Filename.concat !root "lint.baseline"
     in
-    let findings = Lint.Driver.lint_tree ~root:!root () in
+    let corpus = Lint.Driver.load_corpus ~clock ~root:!root () in
+    let t0 = clock () in
+    let findings = Lint.Driver.lint_tree ~corpus ~root:!root () in
+    let t_check = clock () -. t0 in
+    if !verbose then begin
+      List.iter
+        (fun (name, dt) ->
+          Printf.eprintf "fp_lint: pass %-16s %6.0f ms\n" name (dt *. 1000.))
+        (corpus.Lint.Driver.timings @ [ ("check", t_check) ]);
+      Printf.eprintf "fp_lint: total %21.0f ms\n"
+        ((t_check
+         +. List.fold_left
+              (fun a (_, dt) -> a +. dt)
+              0. corpus.Lint.Driver.timings)
+        *. 1000.)
+    end;
     if !update then begin
       let oc = open_out baseline_path in
-      output_string oc (Lint.Baseline.render findings);
-      close_out oc;
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Lint.Baseline.render findings));
       Printf.printf "fp_lint: wrote %d entr%s to %s\n"
         (List.length findings)
         (if List.length findings = 1 then "y" else "ies")

@@ -88,10 +88,9 @@ let load path =
   else
     match
       let ic = open_in_bin path in
-      let len = in_channel_length ic in
-      let text = really_input_string ic len in
-      close_in ic;
-      text
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
     with
     | exception Sys_error m -> Error (path ^ ": unreadable baseline: " ^ m)
     | text -> parse ~path text

@@ -3,10 +3,9 @@ let default_context =
 
 let read_file path =
   let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let parse_file path =
   match read_file path with
@@ -38,30 +37,60 @@ let ml_files root =
     roots;
   List.sort String.compare !found
 
-(* Parse everything once; the same parses feed the syntactic rules, the
-   call graph and the effect fixpoint. *)
-let parse_tree ~root =
-  let files = ml_files root in
-  List.map (fun rel -> (rel, parse_file (Filename.concat root rel))) files
+(* The shared corpus: every source file parsed exactly once, with the
+   call graph and both summary fixpoints built over those same parses.
+   Each consumer — syntactic rules, Interproc, Typestate, the report
+   modes — reads from here instead of re-walking the tree. *)
+type corpus = {
+  parses : (string * (Parsetree.structure, string) result) list;
+  cg : Callgraph.t;
+  effects : Effects.summaries;
+  typestate : Typestate.t;
+  timings : (string * float) list;  (* pass name, seconds, in run order *)
+}
 
-let graph_of_parses parses =
-  let sources =
-    List.filter_map
-      (fun (rel, p) -> match p with Ok str -> Some (rel, str) | Error _ -> None)
-      parses
+(* [clock] defaults to a constant so lib/lint itself never reads the
+   wall clock (SA004); bin/fp_lint injects [Unix.gettimeofday] for the
+   [--verbose] per-pass timing report. *)
+let load_corpus ?(clock = fun () -> 0.) ~root () =
+  let timings = ref [] in
+  let timed name f =
+    let t0 = clock () in
+    let r = f () in
+    timings := (name, clock () -. t0) :: !timings;
+    r
   in
-  let cg = Callgraph.of_sources sources in
-  (cg, Effects.infer cg)
+  let parses =
+    timed "parse" (fun () ->
+        List.map
+          (fun rel -> (rel, parse_file (Filename.concat root rel)))
+          (ml_files root))
+  in
+  let cg =
+    timed "callgraph" (fun () ->
+        Callgraph.of_sources
+          (List.filter_map
+             (fun (rel, p) ->
+               match p with Ok str -> Some (rel, str) | Error _ -> None)
+             parses))
+  in
+  let effects = timed "effects-infer" (fun () -> Effects.infer cg) in
+  let typestate = timed "typestate-infer" (fun () -> Typestate.infer cg) in
+  { parses; cg; effects; typestate; timings = List.rev !timings }
 
-let check_one ~ctx ~cg ~summaries rel str =
+let check_one ~ctx ~corpus rel str =
   let role = Rules.role_of_path rel in
+  let gate (f : Finding.t) = Rules.applies f.rule ~role ~path:rel in
   let syntactic = Rules.check_structure ~ctx ~path:rel ~role str in
   let interproc =
-    List.filter
-      (fun (f : Finding.t) -> Rules.applies f.rule ~role ~path:rel)
-      (Interproc.check ~cg ~summaries ~file:rel)
+    List.filter gate
+      (Interproc.check ~cg:corpus.cg ~summaries:corpus.effects ~file:rel)
   in
-  syntactic @ interproc
+  let typestate =
+    List.filter gate
+      (Typestate.check ~cg:corpus.cg ~t:corpus.typestate ~file:rel)
+  in
+  syntactic @ interproc @ typestate
 
 let lint_file ?(ctx = default_context) ?role ~root rel =
   let role = match role with Some r -> r | None -> Rules.role_of_path rel in
@@ -72,19 +101,18 @@ let lint_file ?(ctx = default_context) ?role ~root rel =
   | Ok str ->
     let cg = Callgraph.of_sources [ (rel, str) ] in
     let summaries = Effects.infer cg in
+    let ts = Typestate.infer cg in
+    let gate (f : Finding.t) = Rules.applies f.rule ~role ~path:rel in
     let syntactic = Rules.check_structure ~ctx ~path:rel ~role str in
     let interproc =
-      List.filter
-        (fun (f : Finding.t) -> Rules.applies f.rule ~role ~path:rel)
-        (Interproc.check ~cg ~summaries ~file:rel)
+      List.filter gate (Interproc.check ~cg ~summaries ~file:rel)
     in
-    Finding.dedupe (syntactic @ interproc)
+    let typestate = List.filter gate (Typestate.check ~cg ~t:ts ~file:rel) in
+    Finding.dedupe (syntactic @ interproc @ typestate)
 
 let docs_robustness = "docs/robustness.md"
 
-let lint_tree ?(ctx = default_context) ~root () =
-  let parses = parse_tree ~root in
-  let cg, summaries = graph_of_parses parses in
+let lint_corpus ?(ctx = default_context) corpus =
   let registered = ref [] in
   let findings =
     List.concat_map
@@ -96,8 +124,8 @@ let lint_tree ?(ctx = default_context) ~root () =
           List.iter
             (fun (site, line) -> registered := (site, rel, line) :: !registered)
             (Rules.registered_sites str);
-          check_one ~ctx ~cg ~summaries rel str)
-      parses
+          check_one ~ctx ~corpus rel str)
+      corpus.parses
   in
   (* Global SA007: the catalogue, the registrations and the docs must
      agree.  Per-file SA007 already flagged literals outside the
@@ -118,12 +146,13 @@ let lint_tree ?(ctx = default_context) ~root () =
              site))
       unregistered
   in
-  let f_docs =
+  let root_has_sources =
+    List.exists (fun (rel, _) -> rel <> "") corpus.parses
+  in
+  let f_docs ~root =
     let doc_path = Filename.concat root docs_robustness in
     if not (Sys.file_exists doc_path) then
-      if List.exists (fun r -> Sys.file_exists (Filename.concat root r)) roots
-         && ctx.Rules.known_sites <> []
-      then
+      if root_has_sources && ctx.Rules.known_sites <> [] then
         [ Finding.v ~file:docs_robustness ~line:1 Finding.SA007
             "docs/robustness.md is missing — every catalogue fault site \
              must be documented there" ]
@@ -148,12 +177,23 @@ let lint_tree ?(ctx = default_context) ~root () =
                     site)))
         ctx.Rules.known_sites
   in
-  Finding.dedupe (findings @ f_unreg @ f_docs)
+  (findings, f_unreg, f_docs)
 
-let effects_report ~root () =
-  let cg, summaries = graph_of_parses (parse_tree ~root) in
-  Effects.report cg summaries
+let lint_tree ?(ctx = default_context) ?corpus ~root () =
+  let corpus =
+    match corpus with Some c -> c | None -> load_corpus ~root ()
+  in
+  let findings, f_unreg, f_docs = lint_corpus ~ctx corpus in
+  Finding.dedupe (findings @ f_unreg @ f_docs ~root)
 
-let callgraph_dot ~root () =
-  let cg, _ = graph_of_parses (parse_tree ~root) in
-  Callgraph.to_dot cg
+let effects_report ?corpus ~root () =
+  let c = match corpus with Some c -> c | None -> load_corpus ~root () in
+  Effects.report c.cg c.effects
+
+let typestate_report ?corpus ~root () =
+  let c = match corpus with Some c -> c | None -> load_corpus ~root () in
+  Typestate.report c.cg c.typestate
+
+let callgraph_dot ?corpus ~root () =
+  let c = match corpus with Some c -> c | None -> load_corpus ~root () in
+  Callgraph.to_dot c.cg

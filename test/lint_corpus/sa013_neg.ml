@@ -1,0 +1,24 @@
+(* SA013 negative: pool lifecycles the DFA accepts — the with_pool
+   combinator, an explicit Fun.protect teardown, and a pool that
+   escapes into a store (conservatively untracked). *)
+
+let submit pool = Fp_util.Pool.run pool ~n:1 (fun ~worker:_ _ -> ())
+
+(* The blessed shape: with_pool owns create + shutdown. *)
+let combinator () = Fp_util.Pool.with_pool ~jobs:2 (fun pool -> submit pool)
+
+(* Manual create, but the shutdown lives in ~finally: exception-safe,
+   exactly-once on both exits. *)
+let explicit () =
+  let pool = Fp_util.Pool.create ~jobs:2 in
+  Fun.protect
+    ~finally:(fun () -> Fp_util.Pool.shutdown pool)
+    (fun () -> submit pool)
+
+(* Escaping into mutable storage ends tracking: ownership moved, the
+   walk stays quiet rather than guessing. *)
+type holder = { mutable slot : Fp_util.Pool.t option }
+
+let stash h =
+  let pool = Fp_util.Pool.create ~jobs:2 in
+  h.slot <- Some pool

@@ -1,0 +1,24 @@
+(* SA013 positive: pool lifecycle violations the typestate walk catches
+   — a use after shutdown reached through two helper summaries, and a
+   pool whose shutdown only happens on one branch. *)
+
+(* Neither helper is wrong by itself; each one's protocol summary just
+   records "param 0: live -> live (use)" / "down -> error". *)
+let submit pool = Fp_util.Pool.run pool ~n:1 (fun ~worker:_ _ -> ())
+
+let dispatch pool = submit pool
+
+(* Use after shutdown, two helpers deep: the error surfaces at the
+   dispatch call with the summary-composed trace. *)
+let use_after_shutdown () =
+  let pool = Fp_util.Pool.create ~jobs:2 in
+  Fp_util.Pool.shutdown pool;
+  dispatch pool
+
+(* Shutdown on one branch only: the merge leaves {live, down}, so the
+   creation site is flagged as not shut down on every path (and the
+   conditional shutdown itself is skippable if submit raises). *)
+let conditional_leak flag =
+  let pool = Fp_util.Pool.create ~jobs:2 in
+  submit pool;
+  if flag then Fp_util.Pool.shutdown pool

@@ -1,0 +1,32 @@
+(* SA014 negative: channel lifecycles the DFA accepts — Fun.protect
+   reads and writes, close with no prior uses, and the sanctioned
+   close_noerr after close. *)
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_all path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+(* Zero uses before the close: nothing can raise in between, so the
+   bare close is fine. *)
+let touch path =
+  let oc = open_out path in
+  close_out oc
+
+(* close_out in the body, close_out_noerr in ~finally: the noerr close
+   on an already-closed channel is the idempotent-teardown idiom, not a
+   double close. *)
+let noerr_after_close path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "x";
+      close_out oc)

@@ -1,0 +1,22 @@
+(* SA014 positive: channel lifecycle violations — a write after close
+   reached through a [let]-alias, and a close hidden in a helper whose
+   summary still closes the caller's channel. *)
+
+(* Alias: dup and oc are the same abstract cell, so the close through
+   one name kills writes through the other.  The unprotected close is
+   also skippable if the first write raises. *)
+let alias_bad path =
+  let oc = open_out path in
+  let dup = oc in
+  output_string dup "x";
+  close_out oc;
+  output_string dup "y"
+
+(* The helper's protocol summary records "param 0: open -> closed", so
+   the caller's later write is a use-after-close. *)
+let finish oc = close_out oc
+
+let helper_bad path =
+  let oc = open_out path in
+  finish oc;
+  output_string oc "z"

@@ -1,0 +1,20 @@
+(* SA015 negative: every commit-like sink inside a pool task is
+   dominated by an abort poll — inline or inherited from a helper whose
+   summary polls on all paths. *)
+
+let commit_stage _i = ()
+
+(* Inline poll before the sink. *)
+let polled pool abort =
+  Fp_util.Pool.run pool ~abort ~n:4 (fun ~worker:_ i ->
+      Fp_util.Abort.check abort;
+      commit_stage i)
+
+(* The helper polls on every path before its own sink, so its summary
+   both suppresses the sink and credits the caller. *)
+let guarded abort i =
+  Fp_util.Abort.check abort;
+  commit_stage i
+
+let polled_deep pool abort =
+  Fp_util.Pool.run pool ~abort ~n:4 (fun ~worker:_ i -> guarded abort i)

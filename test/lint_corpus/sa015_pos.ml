@@ -1,0 +1,15 @@
+(* SA015 positive: commit-like sinks inside pool tasks with no abort
+   poll on the path — directly and through a helper's summary. *)
+
+(* A helper that publishes: its abort summary records the unpolled
+   Journal.write sink. *)
+let commit_result j = Fp_core.Journal.write ~path:"ckpt.json" j
+
+let publish pool j =
+  Fp_util.Pool.run pool ~n:4 (fun ~worker:_ _ -> commit_result j)
+
+(* A commit-named sink reached directly from the task body. *)
+let commit_stage _i = ()
+
+let unpolled pool =
+  Fp_util.Pool.run pool ~n:4 (fun ~worker:_ i -> commit_stage i)

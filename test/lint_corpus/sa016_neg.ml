@@ -1,0 +1,13 @@
+(* SA016 negative: the sanctioned stream shapes — sample before split,
+   and sampling a split-off child (itself a fresh stream). *)
+
+let sample_then_split seed =
+  let rng = Fp_util.Rng.create seed in
+  let x = Fp_util.Rng.int rng 10 in
+  let kids = Fp_util.Rng.split_n rng 4 in
+  (x, kids)
+
+let child_ok seed =
+  let rng = Fp_util.Rng.create seed in
+  let child = Fp_util.Rng.split rng in
+  Fp_util.Rng.float child 1.0

@@ -1,0 +1,17 @@
+(* SA016 positive: a parent Rng.t sampled after children were split
+   from it — directly, and through a helper's summary. *)
+
+let bad_parent seed =
+  let rng = Fp_util.Rng.create seed in
+  let children = Fp_util.Rng.split_n rng 4 in
+  let x = Fp_util.Rng.int rng 10 in
+  (children, x)
+
+(* The helper's summary records "fresh -> fresh" and "split -> error",
+   so sampling through it after a split is still caught. *)
+let draw rng = Fp_util.Rng.int rng 100
+
+let bad_helper seed =
+  let rng = Fp_util.Rng.create seed in
+  let _kids = Fp_util.Rng.split_n rng 2 in
+  draw rng

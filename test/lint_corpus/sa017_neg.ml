@@ -1,0 +1,12 @@
+(* SA017 negative: the sanctioned atomic shapes — a CAS retry loop
+   (the read is consumed by compare_and_set), fetch_and_add, and a
+   get/set pair on two different atomics. *)
+
+let rec bump counter =
+  let cur = Atomic.get counter in
+  if not (Atomic.compare_and_set counter cur (cur + 1)) then bump counter
+
+let incr_fast counter = ignore (Atomic.fetch_and_add counter 1)
+
+(* Reading one atomic to seed another is not an RMW on either. *)
+let transfer a b = Atomic.set b (Atomic.get a + 1)

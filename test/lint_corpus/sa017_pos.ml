@@ -1,0 +1,11 @@
+(* SA017 positive: read-modify-write on an Atomic.t as separate
+   get/set — the load-store shape that races between domains. *)
+
+(* Inline: the set's value re-reads the same atomic. *)
+let bump counter = Atomic.set counter (Atomic.get counter + 1)
+
+(* Through a let binding: the read is named, then stored back with no
+   compare_and_set consuming it. *)
+let bump_via_let counter =
+  let cur = Atomic.get counter in
+  Atomic.set counter (cur + 1)

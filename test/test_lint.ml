@@ -11,6 +11,7 @@ module Driver = Fp_lint.Driver
 module Callgraph = Fp_lint.Callgraph
 module Effects = Fp_lint.Effects
 module Sarif = Fp_lint.Sarif
+module Typestate = Fp_lint.Typestate
 
 let corpus = "lint_corpus"
 
@@ -82,6 +83,60 @@ let test_sa012_pos () =
   check_rules "only SA012" [ "SA012" ] fs;
   Alcotest.(check int) "captured-arg + transitive + local helper" 3
     (List.length fs)
+
+(* --------------------- corpus: typestate rules ---------------------- *)
+
+let msg_contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let some_msg_contains needle fs =
+  Alcotest.(check bool)
+    ("some finding mentions " ^ needle)
+    true
+    (List.exists (fun f -> msg_contains ~needle f.Finding.msg) fs)
+
+let test_sa013_pos () =
+  let fs = lint "sa013_pos.ml" in
+  check_rules "only SA013" [ "SA013" ] fs;
+  Alcotest.(check int) "use-after-shutdown + branch leak + skippable" 3
+    (List.length fs);
+  (* the use-after-shutdown witness composes the two helper summaries
+     into one DFA trace, creation through to the offending use. *)
+  some_msg_contains "Pool.create" fs;
+  some_msg_contains "Sa013_pos.dispatch" fs;
+  some_msg_contains "Sa013_pos.submit" fs
+
+let test_sa014_pos () =
+  let fs = lint "sa014_pos.ml" in
+  check_rules "only SA014" [ "SA014" ] fs;
+  Alcotest.(check int) "alias use-after-close + skippable + helper close" 3
+    (List.length fs);
+  (* the alias trace walks through the second name, the helper trace
+     through the callee's summary. *)
+  some_msg_contains "output_string:13" fs;
+  some_msg_contains "Sa014_pos.finish" fs
+
+let test_sa015_pos () =
+  let fs = lint "sa015_pos.ml" in
+  check_rules "only SA015" [ "SA015" ] fs;
+  Alcotest.(check int) "journal sink + commit-named sink" 2 (List.length fs);
+  some_msg_contains "commit_result" fs;
+  some_msg_contains "Abort.check" fs
+
+let test_sa016_pos () =
+  let fs = lint "sa016_pos.ml" in
+  check_rules "only SA016" [ "SA016" ] fs;
+  Alcotest.(check int) "direct + through helper summary" 2 (List.length fs);
+  some_msg_contains "Rng.split_n:6 -> Rng.int:7" fs;
+  some_msg_contains "Sa016_pos.draw" fs
+
+let test_sa017_pos () =
+  let fs = lint "sa017_pos.ml" in
+  check_rules "only SA017" [ "SA017" ] fs;
+  Alcotest.(check int) "inline RMW + let-bound RMW" 2 (List.length fs);
+  some_msg_contains "Atomic.get:10 -> Atomic.set:11" fs
 
 (* ------------------------- corpus: negatives ------------------------ *)
 
@@ -200,6 +255,48 @@ let test_infer_deterministic_and_bounded () =
   Alcotest.(check int) "top is the full powerset"
     (List.length Effects.all_effects)
     (Effects.Eff_set.cardinal Effects.top)
+
+(* ----------------------- typestate machinery ------------------------ *)
+
+let test_typestate_idempotent () =
+  let cg, _ =
+    graph
+      [
+        ( "lib/core/proto.ml",
+          "let finish oc = close_out oc\n\
+           let go path =\n\
+           \  let oc = open_out path in\n\
+           \  output_string oc \"x\";\n\
+           \  finish oc" );
+        ( "lib/core/fan.ml",
+          "let seed s = let r = Fp_util.Rng.create s in Fp_util.Rng.split r" );
+      ]
+  in
+  (* re-running the protocol fixpoint reproduces the same summary map
+     for every definition — mirrors the Effects idempotence check. *)
+  Alcotest.(check bool) "protocol summaries stable" true
+    (Typestate.equal (Typestate.infer cg) (Typestate.infer cg))
+
+let test_typestate_branch_merge () =
+  (* one branch closes the channel, the other does not; the states meet
+     at the join, and the use after the merge must still fire from the
+     closed configuration. *)
+  let src =
+    "let branchy path flag =\n\
+     \  let oc = open_out path in\n\
+     \  (if flag then close_out oc);\n\
+     \  output_string oc \"x\"\n"
+  in
+  let cg, _ = graph [ ("lib/core/branchy.ml", src) ] in
+  let t = Typestate.infer cg in
+  let fs = Typestate.check ~cg ~t ~file:"lib/core/branchy.ml" in
+  check_rules "only SA014" [ "SA014" ] fs;
+  match fs with
+  | [ f ] ->
+    Alcotest.(check int) "fires at the post-merge use" 4 f.Finding.line;
+    Alcotest.(check bool) "trace passes through the closing branch" true
+      (msg_contains ~needle:"close_out:3" f.Finding.msg)
+  | fs -> Alcotest.failf "expected exactly 1 finding, got %d" (List.length fs)
 
 (* ------------------------------ dedupe ------------------------------ *)
 
@@ -421,6 +518,12 @@ let () =
             test_sa010_pos;
           Alcotest.test_case "SA011 swallowed below the task" `Quick
             test_sa011_pos;
+          Alcotest.test_case "SA013 pool lifecycle" `Quick test_sa013_pos;
+          Alcotest.test_case "SA014 channel lifecycle" `Quick test_sa014_pos;
+          Alcotest.test_case "SA015 unpolled commit sinks" `Quick
+            test_sa015_pos;
+          Alcotest.test_case "SA016 sample-after-split" `Quick test_sa016_pos;
+          Alcotest.test_case "SA017 atomic get/set RMW" `Quick test_sa017_pos;
           Alcotest.test_case "SA012 escaping mutable captures" `Quick
             test_sa012_pos;
         ] );
@@ -439,6 +542,13 @@ let () =
             (neg "sa011_neg.ml");
           Alcotest.test_case "blessed capture shapes" `Quick
             (neg "sa012_neg.ml");
+          Alcotest.test_case "with_pool and protected teardown" `Quick
+            (neg "sa013_neg.ml");
+          Alcotest.test_case "protected channels" `Quick (neg "sa014_neg.ml");
+          Alcotest.test_case "polled commit sinks" `Quick (neg "sa015_neg.ml");
+          Alcotest.test_case "sample-before-split" `Quick (neg "sa016_neg.ml");
+          Alcotest.test_case "CAS and fetch_and_add" `Quick
+            (neg "sa017_neg.ml");
         ] );
       ( "roles",
         [ Alcotest.test_case "role gating" `Quick test_roles_gate_rules ] );
@@ -455,6 +565,13 @@ let () =
           Alcotest.test_case "dedupe keeps the earlier rule" `Quick
             test_dedupe;
           Alcotest.test_case "sarif rendering" `Quick test_sarif_render;
+        ] );
+      ( "typestate",
+        [
+          Alcotest.test_case "summaries idempotent" `Quick
+            test_typestate_idempotent;
+          Alcotest.test_case "DFA branch merge" `Quick
+            test_typestate_branch_merge;
         ] );
       ( "baseline",
         [
